@@ -1,0 +1,20 @@
+"""Shared bench driver (imported by every bench module)."""
+
+from __future__ import annotations
+
+
+def run_experiment_bench(benchmark, workspace, experiment_id,
+                         rounds: int = 1):
+    """Regenerate one paper artifact under the timer and print it."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id, workspace),
+        rounds=rounds,
+        iterations=1,
+    )
+    assert result.experiment_id == experiment_id
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Ablation (MCL preprocessing variants)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_ablation_mcl(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "ablation-mcl")

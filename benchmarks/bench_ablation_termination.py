@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Ablation (termination-rule probing cost vs accuracy)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_ablation_termination(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "ablation-termination")

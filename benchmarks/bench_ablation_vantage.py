@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the ablation-vantage extension experiment."""
+
+from _driver import run_experiment_bench
+
+
+def bench_ablation_vantage(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "ablation-vantage")

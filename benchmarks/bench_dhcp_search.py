@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the dhcp-search extension experiment."""
+
+from _driver import run_experiment_bench
+
+
+def bench_dhcp_search(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "dhcp-search")

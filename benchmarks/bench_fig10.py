@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Figure 10 (block sizes before/after MCL clustering)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_fig10(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "fig10")

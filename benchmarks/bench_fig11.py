@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Figure 11 (topology-discovery efficiency curves)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_fig11(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "fig11")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Figure 12 (stratified vs random sampling of rDNS patterns)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_fig12(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "fig12")

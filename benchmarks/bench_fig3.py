@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Figure 3 (cardinality and probed-address CDFs)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_fig3(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "fig3")

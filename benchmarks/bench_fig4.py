@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Figure 4 (the <cardinality, probed> confidence grid)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_fig4(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "fig4")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Figure 5 (identical-set aggregated block sizes)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_fig5(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "fig5")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Figure 6 (first-RTT-minus-rest cellular detection)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_fig6(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "fig6")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Figure 7 (longest-common-prefix length distributions)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_fig7(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "fig7")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Figure 8 (numerical adjacency of the top blocks)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_fig8(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "fig8")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Figure 9 (the similarity rule vs reprobing outcomes)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_fig9(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "fig9")

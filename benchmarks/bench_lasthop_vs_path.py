@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Section 3.1 metric comparison (Hobbit coverage on entire traceroutes vs last-hop routers)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_lasthop_vs_path(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "lasthop-vs-path")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the longitudinal extension experiment."""
+
+from _driver import run_experiment_bench
+
+
+def bench_longitudinal(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "longitudinal")

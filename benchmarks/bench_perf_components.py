@@ -1,0 +1,111 @@
+"""Performance benchmarks for the hot components (not tied to a paper
+artifact): probe dispatch, last-hop identification, the hierarchy test,
+the ZMap fast scan and MCL."""
+
+import random
+
+from repro.aggregation import build_similarity_graph, mcl
+from repro.core import TerminationPolicy, measure_slash24
+from repro.core.grouping import group_by_lasthop
+from repro.core.hierarchy import groups_hierarchical
+from repro.probing import (
+    Prober,
+    enumerate_hops,
+    enumerate_paths,
+    identify_lasthops,
+    scan,
+)
+from repro.probing.traceroute import paris_traceroute
+
+
+def bench_probe_dispatch(benchmark, workspace):
+    internet = workspace.internet
+    snapshot = workspace.snapshot
+    slash24 = snapshot.eligible_slash24s()[0]
+    dst = snapshot.active_in(slash24)[0]
+
+    def send_hundred():
+        for flow in range(100):
+            internet.send_probe(dst, 64, flow)
+
+    benchmark(send_hundred)
+
+
+def bench_paris_traceroute(benchmark, workspace):
+    internet = workspace.internet
+    snapshot = workspace.snapshot
+    slash24 = snapshot.eligible_slash24s()[1]
+    dst = snapshot.active_in(slash24)[0]
+    prober = Prober(internet)
+    benchmark(paris_traceroute, prober, dst, 3)
+
+
+def bench_identify_lasthops(benchmark, workspace):
+    internet = workspace.internet
+    snapshot = workspace.snapshot
+    slash24 = snapshot.eligible_slash24s()[2]
+    dst = snapshot.active_in(slash24)[0]
+    prober = Prober(internet)
+    benchmark(identify_lasthops, prober, dst)
+
+
+def bench_mda_per_hop(benchmark, workspace):
+    internet = workspace.internet
+    snapshot = workspace.snapshot
+    slash24 = snapshot.eligible_slash24s()[4]
+    dst = snapshot.active_in(slash24)[0]
+    prober = Prober(internet)
+    benchmark(enumerate_hops, prober, dst)
+
+
+def bench_mda_path_level(benchmark, workspace):
+    internet = workspace.internet
+    snapshot = workspace.snapshot
+    slash24 = snapshot.eligible_slash24s()[4]
+    dst = snapshot.active_in(slash24)[0]
+    prober = Prober(internet)
+    benchmark(enumerate_paths, prober, dst)
+
+
+def bench_measure_one_slash24(benchmark, workspace):
+    internet = workspace.internet
+    snapshot = workspace.snapshot
+    slash24 = snapshot.eligible_slash24s()[3]
+    prober = Prober(internet)
+
+    def measure():
+        return measure_slash24(
+            prober,
+            slash24,
+            snapshot.active_in(slash24),
+            TerminationPolicy(confidence_table=workspace.confidence_table),
+            random.Random(1),
+            max_destinations=48,
+        )
+
+    benchmark(measure)
+
+
+def bench_zmap_fast_scan(benchmark, workspace):
+    internet = workspace.internet
+    slash24s = internet.universe_slash24s[:200]
+    benchmark(scan, internet, None, slash24s)
+
+
+def bench_hierarchy_test(benchmark, workspace):
+    rng = random.Random(7)
+    observations = {
+        0x0A000000 + i: frozenset({rng.randrange(8)}) for i in range(256)
+    }
+
+    def run():
+        return groups_hierarchical(group_by_lasthop(observations))
+
+    benchmark(run)
+
+
+def bench_mcl_on_measured_graph(benchmark, workspace):
+    blocks = workspace.aggregation.identical_blocks
+    graph = build_similarity_graph(blocks)
+    matrix = graph.to_sparse()
+    benchmark(mcl, matrix, workspace.aggregation.inflation)

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Section 2 preliminary studies (straw-man route comparison and the /31 per-destination estimates)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_prelim(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "prelim")

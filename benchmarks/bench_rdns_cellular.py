@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Section 7.2 (cellular rDNS patterns and negative controls)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_rdns_cellular(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "rdns-cellular")

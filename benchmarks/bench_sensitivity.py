@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the Table-1 sensitivity sweep."""
+
+from _driver import run_experiment_bench
+
+
+def bench_sensitivity(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "sensitivity")

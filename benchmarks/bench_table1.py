@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Table 1 (the homogeneity classification counts)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_table1(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "table1")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Table 2 (sub-block compositions of heterogeneous /24s)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_table2(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "table2")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Table 3 (top ASes by heterogeneous /24 count)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_table3(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "table3")

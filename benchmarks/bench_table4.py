@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Table 4 (WHOIS records verifying split /24s)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_table4(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "table4")

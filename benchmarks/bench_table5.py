@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Table 5 (the largest homogeneous blocks and their owners)."""
+
+from _driver import run_experiment_bench
+
+
+def bench_table5(benchmark, workspace):
+    run_experiment_bench(benchmark, workspace, "table5")

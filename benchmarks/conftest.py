@@ -1,0 +1,32 @@
+"""Benchmark fixtures.
+
+The workspace (scenario, snapshot, campaign, aggregation, path dataset)
+is built once per session and *pre-warmed*, so each bench times the
+regeneration of its table/figure from the shared measurement data — the
+same structure as the paper's analysis pipeline, where one measurement
+campaign feeds every table.
+
+Profile selection: ``REPRO_PROFILE`` (default ``small``). Use
+``REPRO_PROFILE=tiny pytest benchmarks/ --benchmark-only`` for a quick
+pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_workspace
+
+
+@pytest.fixture(scope="session")
+def workspace():
+    ws = get_workspace()
+    # Pre-warm the heavy shared artifacts so benches time only their
+    # own analysis (the first property access builds each artifact).
+    ws.snapshot
+    ws.confidence_table
+    ws.campaign
+    ws.aggregation
+    ws.path_dataset
+    ws.strict_het_analyses
+    return ws

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Hobbit's decision core on IPv6 (the paper's stated future work).
+
+"As future work, we intend to apply Hobbit to IPv6 networks." The
+hierarchy test is address-family agnostic — it only needs addresses as
+ordered integers — so the IPv6 groundwork in ``repro.net.v6`` plugs
+straight in. This example runs the verdict logic over synthetic IPv6
+last-hop observations for /64 measurement units:
+
+* a /64 behind per-destination load balancing (interleaved last hops →
+  non-hierarchical → homogeneous),
+* a /64 split into two /65 customer assignments (disjoint, aligned →
+  hierarchical → candidate heterogeneity).
+
+Run:  python examples/ipv6_hierarchy.py
+"""
+
+from repro.net.v6 import (
+    Range6,
+    format_v6,
+    group_ranges_v6,
+    measurement_unit_of,
+    parse_v6,
+    v6_groups_hierarchical,
+)
+
+
+def show(name: str, observations) -> None:
+    unit = measurement_unit_of(next(iter(observations)))
+    hierarchical = v6_groups_hierarchical(observations)
+    verdict = (
+        "hierarchical (candidate heterogeneity)"
+        if hierarchical
+        else "non-hierarchical (homogeneous: load balancing)"
+    )
+    print(f"{name}: unit {unit}")
+    groups = {}
+    for addr, lasthops in observations.items():
+        for lasthop in lasthops:
+            groups.setdefault(lasthop, []).append(addr)
+    for lasthop, members in sorted(groups.items()):
+        lo, hi = min(members), max(members)
+        print(f"  router {lasthop}: {len(members)} addresses, range "
+              f"[{format_v6(lo)} .. {format_v6(hi)}]")
+    print(f"  verdict: {verdict}\n")
+
+
+def main() -> None:
+    base = parse_v6("2001:db8:42:7::")
+
+    # Case 1: per-destination ECMP interleaves two last-hop routers
+    # across the /64's addresses.
+    balanced = {
+        base + offset: frozenset({1 if offset % 2 else 2})
+        for offset in range(1, 13)
+    }
+    show("load-balanced /64", balanced)
+
+    # Case 2: the /64 is split into two /65 assignments, each behind its
+    # own router: the groups are disjoint and aligned.
+    half = 1 << 63
+    split = {}
+    for offset in (1, 9, 200, 4096):
+        split[base + offset] = frozenset({10})
+    for offset in (1, 77, 300, 9000):
+        split[base + half + offset] = frozenset({11})
+    show("split /64 (two /65 customers)", split)
+
+    # The same Range6 objects feed the generic hierarchy algorithm the
+    # IPv4 pipeline uses — nothing else changes for IPv6.
+    ranges = group_ranges_v6(
+        {"a": [base + 1, base + 40], "b": [base + 20, base + 90]}
+    )
+    print("range objects interoperate with repro.core.hierarchy:",
+          ", ".join(str(r) for r in ranges))
+
+
+if __name__ == "__main__":
+    main()

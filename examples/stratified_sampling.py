@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Stratified sampling from Hobbit blocks (Section 7.3, Figure 12).
+
+Internet hosts are diverse even inside one ISP; a representative sample
+should cover many host types. Using rDNS patterns as the type proxy,
+this example compares a stratified sample (one address per Hobbit
+block) against simple random samples of 1x-4x the size.
+
+Run:  python examples/stratified_sampling.py
+"""
+
+from repro.aggregation import AggregatedBlock
+from repro.analysis import compare_sampling
+from repro.netsim import SimulatedInternet, tiny_scenario
+from repro.probing import scan
+from repro.util import render_table
+
+
+def main() -> None:
+    internet = SimulatedInternet.from_config(tiny_scenario(seed=17))
+    snapshot = scan(internet)
+
+    # Use the ground-truth aggregates as the Hobbit blocks of one org.
+    target_asn = 65001  # the tiny scenario's residential broadband ISP
+    blocks = []
+    for index, tb in enumerate(internet.ground_truth.true_blocks()):
+        record = internet.geodb.lookup(tb.slash24s[0].network)
+        if record and record.asn == target_asn:
+            blocks.append(
+                AggregatedBlock(
+                    block_id=index,
+                    lasthop_set=tb.lasthop_router_ids,
+                    slash24s=tb.slash24s,
+                )
+            )
+    print(f"{len(blocks)} Hobbit blocks for AS{target_asn}\n")
+
+    comparison = compare_sampling(
+        internet, blocks, snapshot, repetitions=25, seed=3,
+    )
+    rows = [
+        [label, f"{value:.2f}"]
+        for label, value in comparison.normalized_rows()
+    ]
+    print(render_table(
+        ["method", "distinct rDNS patterns (normalized)"],
+        rows, title="Figure 12: sample representativeness",
+    ))
+    print(
+        f"\nstratified sample covers "
+        f"{comparison.stratified_population_coverage * 100:.0f}% of the "
+        f"{comparison.population_patterns} patterns in the population "
+        "(the paper measured 73%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

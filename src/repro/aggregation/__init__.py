@@ -1,0 +1,51 @@
+"""Aggregating homogeneous /24s into larger blocks: identical-set
+merging (Section 5) and MCL-based similarity clustering with reprobe
+validation (Section 6)."""
+
+from .graph import WeightedGraph
+from .identical import (
+    AggregatedBlock,
+    aggregate_identical,
+    size_histogram,
+    size_log2_histogram,
+    top_blocks,
+)
+from .mcl import MclResult, mcl
+from .pipeline import AggregationOutcome, run_aggregation
+from .reprobe import ClusterValidation, Reprober, validate_cluster
+from .rules import SimilarityRule
+from .similarity import (
+    build_similarity_graph,
+    pairwise_similarities,
+    similarity,
+)
+from .sweep import (
+    SweepOutcome,
+    choose_inflation,
+    run_mcl_on_components,
+    weak_intra_cluster_fraction,
+)
+
+__all__ = [
+    "AggregatedBlock",
+    "AggregationOutcome",
+    "ClusterValidation",
+    "MclResult",
+    "Reprober",
+    "SimilarityRule",
+    "SweepOutcome",
+    "WeightedGraph",
+    "aggregate_identical",
+    "build_similarity_graph",
+    "choose_inflation",
+    "mcl",
+    "pairwise_similarities",
+    "run_aggregation",
+    "run_mcl_on_components",
+    "similarity",
+    "size_histogram",
+    "size_log2_histogram",
+    "top_blocks",
+    "validate_cluster",
+    "weak_intra_cluster_fraction",
+]

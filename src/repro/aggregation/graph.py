@@ -1,0 +1,108 @@
+"""Sparse weighted undirected graphs for the clustering stage.
+
+Vertices are aggregated blocks; edge weights are similarity scores.
+Connected-component splitting (Section 6.3's second preprocessing step)
+lets MCL run independently — and cheaply — per component.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+from scipy import sparse
+
+
+class WeightedGraph:
+    """Adjacency-dict undirected graph with float weights."""
+
+    def __init__(self, vertex_count: int) -> None:
+        if vertex_count < 0:
+            raise ValueError("vertex count cannot be negative")
+        self._adjacency: List[Dict[int, float]] = [
+            {} for _ in range(vertex_count)
+        ]
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(neighbours) for neighbours in self._adjacency) // 2
+
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        if u == v:
+            raise ValueError("self loops are added by MCL, not the graph")
+        if weight <= 0.0:
+            raise ValueError("edges must have positive weight")
+        self._adjacency[u][v] = weight
+        self._adjacency[v][u] = weight
+
+    def weight(self, u: int, v: int) -> float:
+        """Edge weight, 0.0 if absent."""
+        return self._adjacency[u].get(v, 0.0)
+
+    def neighbours(self, u: int) -> Dict[int, float]:
+        return dict(self._adjacency[u])
+
+    def degree(self, u: int) -> int:
+        return len(self._adjacency[u])
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Each undirected edge once, as (u, v, weight) with u < v."""
+        for u, neighbours in enumerate(self._adjacency):
+            for v, weight in neighbours.items():
+                if u < v:
+                    yield (u, v, weight)
+
+    def edge_weights(self) -> List[float]:
+        return [weight for _u, _v, weight in self.edges()]
+
+    def connected_components(self) -> List[List[int]]:
+        """Vertex lists of connected components (singletons included),
+        each sorted, ordered by smallest member."""
+        seen = [False] * self.vertex_count
+        components: List[List[int]] = []
+        for start in range(self.vertex_count):
+            if seen[start]:
+                continue
+            seen[start] = True
+            stack = [start]
+            component = []
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for neighbour in self._adjacency[node]:
+                    if not seen[neighbour]:
+                        seen[neighbour] = True
+                        stack.append(neighbour)
+            components.append(sorted(component))
+        return components
+
+    def subgraph(self, vertices: List[int]) -> Tuple["WeightedGraph", List[int]]:
+        """Induced subgraph; returns (graph, original-index list)."""
+        index_of = {v: i for i, v in enumerate(vertices)}
+        sub = WeightedGraph(len(vertices))
+        for v in vertices:
+            for neighbour, weight in self._adjacency[v].items():
+                j = index_of.get(neighbour)
+                if j is not None and index_of[v] < j:
+                    sub.add_edge(index_of[v], j, weight)
+        return sub, list(vertices)
+
+    def to_sparse(self) -> sparse.csr_matrix:
+        """Symmetric CSR adjacency matrix."""
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        for u, neighbours in enumerate(self._adjacency):
+            for v, weight in neighbours.items():
+                rows.append(u)
+                cols.append(v)
+                data.append(weight)
+        return sparse.csr_matrix(
+            (np.array(data), (np.array(rows, dtype=np.int64),
+                              np.array(cols, dtype=np.int64))),
+            shape=(self.vertex_count, self.vertex_count),
+        )

@@ -1,0 +1,169 @@
+"""The full aggregation flow: Sections 5 and 6 end to end.
+
+1. Merge /24s with identical last-hop sets (Section 5).
+2. Build the similarity graph over the merged blocks (Section 6.3).
+3. Sweep the MCL inflation parameter, run MCL per connected component
+   (Section 6.4).
+4. Validate multi-block clusters by reprobing with the modified
+   strategy (Section 6.5); evaluate the similarity rule (Section 6.6).
+5. Merge the clusters reprobing confirmed, producing the final block
+   list.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional
+
+from ..net.prefix import Prefix
+from ..netsim.internet import SimulatedInternet
+from ..probing.zmap import ActivitySnapshot
+from .graph import WeightedGraph
+from .identical import AggregatedBlock, aggregate_identical, size_histogram
+from .mcl import DEFAULT_INFLATION
+from .reprobe import (
+    DEFAULT_MAX_PAIRS,
+    ClusterValidation,
+    Reprober,
+    validate_cluster,
+)
+from .rules import SimilarityRule
+from .similarity import build_similarity_graph
+from .sweep import SweepOutcome, choose_inflation, run_mcl_on_components
+
+
+@dataclass
+class AggregationOutcome:
+    """Everything Sections 5-6 produce."""
+
+    #: Section 5 blocks (identical-set aggregation).
+    identical_blocks: List[AggregatedBlock]
+    graph: WeightedGraph
+    inflation: float
+    sweep_outcomes: List[SweepOutcome] = field(default_factory=list)
+    #: MCL clusters as lists of indices into ``identical_blocks``.
+    clusters: List[List[int]] = field(default_factory=list)
+    #: Reprobing outcomes for multi-block clusters.
+    validations: List[ClusterValidation] = field(default_factory=list)
+    #: Which multi-block clusters matched the Section 6.6 rule.
+    rule_matches: Dict[int, bool] = field(default_factory=dict)
+    #: Final blocks: confirmed clusters merged, everything else as-is.
+    final_blocks: List[AggregatedBlock] = field(default_factory=list)
+    reprobe_probes_used: int = 0
+
+    # -- summaries ---------------------------------------------------------
+
+    def identical_size_histogram(self) -> Dict[int, int]:
+        return size_histogram(self.identical_blocks)
+
+    def final_size_histogram(self) -> Dict[int, int]:
+        return size_histogram(self.final_blocks)
+
+    @property
+    def confirmed_cluster_count(self) -> int:
+        return sum(1 for v in self.validations if v.homogeneous)
+
+    @property
+    def blocks_merged_away(self) -> int:
+        return len(self.identical_blocks) - len(self.final_blocks)
+
+
+def run_aggregation(
+    lasthop_sets: Mapping[Prefix, FrozenSet[int]],
+    internet: Optional[SimulatedInternet] = None,
+    snapshot: Optional[ActivitySnapshot] = None,
+    inflation: Optional[float] = None,
+    validate: bool = True,
+    max_pairs_per_cluster: int = DEFAULT_MAX_PAIRS,
+    rule: Optional[SimilarityRule] = None,
+    seed: int = 0,
+) -> AggregationOutcome:
+    """Run the aggregation flow over measured last-hop sets.
+
+    ``internet`` and ``snapshot`` are only needed when ``validate`` is
+    True (reprobing goes back on the wire). With ``inflation`` unset the
+    Section 6.4 sweep picks it.
+    """
+    identical_blocks = aggregate_identical(lasthop_sets)
+    graph = build_similarity_graph(identical_blocks)
+    sweep_outcomes: List[SweepOutcome] = []
+    if inflation is None:
+        inflation, sweep_outcomes = choose_inflation(graph)
+        if not sweep_outcomes:
+            inflation = DEFAULT_INFLATION
+    clusters = run_mcl_on_components(graph, inflation)
+    outcome = AggregationOutcome(
+        identical_blocks=identical_blocks,
+        graph=graph,
+        inflation=inflation,
+        sweep_outcomes=sweep_outcomes,
+        clusters=clusters,
+    )
+    rule = rule or SimilarityRule()
+    multi_clusters = [
+        (index, cluster)
+        for index, cluster in enumerate(clusters)
+        if len(cluster) > 1
+    ]
+    for index, cluster in multi_clusters:
+        blocks = [identical_blocks[i] for i in cluster]
+        outcome.rule_matches[index] = rule.matches(blocks)
+
+    confirmed: Dict[int, List[int]] = {}
+    if validate and multi_clusters:
+        if internet is None or snapshot is None:
+            raise ValueError(
+                "validation requires the internet and the snapshot"
+            )
+        reprober = Reprober(internet, snapshot, seed=seed)
+        rng = random.Random(seed)
+        for index, cluster in multi_clusters:
+            blocks = [identical_blocks[i] for i in cluster]
+            validation = validate_cluster(
+                reprober, index, blocks,
+                max_pairs=max_pairs_per_cluster, rng=rng,
+            )
+            outcome.validations.append(validation)
+            if validation.homogeneous:
+                confirmed[index] = cluster
+        outcome.reprobe_probes_used = reprober.probes_used
+
+    outcome.final_blocks = _merge_confirmed(identical_blocks, confirmed)
+    return outcome
+
+
+def _merge_confirmed(
+    identical_blocks: List[AggregatedBlock],
+    confirmed: Mapping[int, List[int]],
+) -> List[AggregatedBlock]:
+    merged_members: set = set()
+    final: List[AggregatedBlock] = []
+    next_id = 0
+    for cluster in confirmed.values():
+        slash24s: List[Prefix] = []
+        lasthops: set = set()
+        for block_index in cluster:
+            block = identical_blocks[block_index]
+            merged_members.add(block_index)
+            slash24s.extend(block.slash24s)
+            lasthops.update(block.lasthop_set)
+        final.append(
+            AggregatedBlock(
+                block_id=next_id,
+                lasthop_set=frozenset(lasthops),
+                slash24s=tuple(sorted(slash24s)),
+            )
+        )
+        next_id += 1
+    for index, block in enumerate(identical_blocks):
+        if index not in merged_members:
+            final.append(
+                AggregatedBlock(
+                    block_id=next_id,
+                    lasthop_set=block.lasthop_set,
+                    slash24s=block.slash24s,
+                )
+            )
+            next_id += 1
+    return final

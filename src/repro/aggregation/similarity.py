@@ -1,0 +1,65 @@
+"""Similarity scores between blocks and the clustering input graph
+(Section 6.3).
+
+For blocks A and B with last-hop sets S_A and S_B the similarity is
+|S_A ∩ S_B| / max(|S_A|, |S_B|): 1.0 for identical sets, 0 for disjoint
+ones. Blocks are vertices; positive scores become weighted edges. The
+weight-1 pre-aggregation the paper describes is already done — the
+vertices *are* the identical-set blocks from Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from .graph import WeightedGraph
+from .identical import AggregatedBlock
+
+
+def similarity(a: FrozenSet[int], b: FrozenSet[int]) -> float:
+    """|A ∩ B| / max(|A|, |B|); 0.0 when either set is empty."""
+    if not a or not b:
+        return 0.0
+    return len(a & b) / max(len(a), len(b))
+
+
+def build_similarity_graph(
+    blocks: Sequence[AggregatedBlock],
+) -> WeightedGraph:
+    """Vertices are block indices; edges connect blocks sharing at least
+    one last-hop router, weighted by similarity.
+
+    Uses an inverted index (router → blocks) so the cost is proportional
+    to actual overlaps, not all block pairs.
+    """
+    graph = WeightedGraph(len(blocks))
+    by_router: Dict[int, List[int]] = {}
+    for index, block in enumerate(blocks):
+        for router in block.lasthop_set:
+            by_router.setdefault(router, []).append(index)
+
+    intersections: Dict[Tuple[int, int], int] = {}
+    for members in by_router.values():
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                key = (u, v) if u < v else (v, u)
+                intersections[key] = intersections.get(key, 0) + 1
+
+    for (u, v), shared in intersections.items():
+        score = shared / max(
+            len(blocks[u].lasthop_set), len(blocks[v].lasthop_set)
+        )
+        graph.add_edge(u, v, score)
+    return graph
+
+
+def pairwise_similarities(
+    blocks: Sequence[AggregatedBlock],
+) -> List[float]:
+    """All pairwise similarity scores among the given blocks (used by
+    the Section 6.6 rule, which inspects their distribution)."""
+    scores: List[float] = []
+    for i, a in enumerate(blocks):
+        for b in blocks[i + 1:]:
+            scores.append(similarity(a.lasthop_set, b.lasthop_set))
+    return scores

@@ -1,0 +1,77 @@
+"""Numerical adjacency of /24s within homogeneous blocks (Section 5.3).
+
+Figure 7a: longest-common-prefix lengths between numerically
+consecutive /24s of each block. Figure 7b: LCP length between each
+block's smallest and largest /24. Figure 8: the vertical-line
+visualisation coordinates for the largest blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..aggregation.identical import AggregatedBlock
+from ..net.blockset import (
+    adjacency_lcp_lengths,
+    contiguous_runs,
+    extremes_lcp_length,
+    visualization_coordinates,
+)
+from .cdf import histogram_fractions
+
+
+def adjacent_pair_lengths(blocks: Sequence[AggregatedBlock]) -> List[int]:
+    """All consecutive-/24 LCP lengths, pooled across blocks with at
+    least two /24s (Figure 7a's population)."""
+    lengths: List[int] = []
+    for block in blocks:
+        if block.size >= 2:
+            lengths.extend(adjacency_lcp_lengths(list(block.slash24s)))
+    return lengths
+
+
+def extremes_lengths(blocks: Sequence[AggregatedBlock]) -> List[int]:
+    """Smallest-vs-largest /24 LCP length per block (Figure 7b)."""
+    return [
+        extremes_lcp_length(list(block.slash24s))
+        for block in blocks
+        if block.size >= 2
+    ]
+
+
+def length_distribution(lengths: List[int]) -> List[Tuple[int, int, float]]:
+    """(length, count, fraction) rows — the Figure 7 bar heights."""
+    return histogram_fractions(lengths)
+
+
+def block_visualization(block: AggregatedBlock) -> List[float]:
+    """Figure 8 vertical-line x coordinates for one block."""
+    return visualization_coordinates(list(block.slash24s))
+
+
+def contiguous_segment_sizes(block: AggregatedBlock) -> List[int]:
+    """Sizes of the block's maximal contiguous /24 runs."""
+    return [len(run) for run in contiguous_runs(list(block.slash24s))]
+
+
+def adjacency_summary(blocks: Sequence[AggregatedBlock]) -> Dict[str, float]:
+    """Key paper claims in one place: how contiguous are blocks?"""
+    pair_lengths = adjacent_pair_lengths(blocks)
+    extreme = extremes_lengths(blocks)
+    if not pair_lengths:
+        return {"blocks": float(len(blocks))}
+    return {
+        "blocks": float(len(blocks)),
+        "adjacent_pairs": float(len(pair_lengths)),
+        # ">30% of pairs have length 23" / "~70% at least 20"
+        "fraction_length_23": sum(1 for l in pair_lengths if l == 23)
+        / len(pair_lengths),
+        "fraction_length_ge_20": sum(1 for l in pair_lengths if l >= 20)
+        / len(pair_lengths),
+        # "~40% of blocks have extremes length 0 or 1"
+        "fraction_extremes_le_1": (
+            sum(1 for l in extreme if l <= 1) / len(extreme)
+            if extreme
+            else 0.0
+        ),
+    }

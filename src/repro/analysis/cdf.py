@@ -1,0 +1,73 @@
+"""Empirical CDFs and distribution summaries shared by the figures."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def empirical_cdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """(value, fraction ≤ value) points of the empirical CDF.
+
+    Duplicate values collapse to one point at their highest fraction.
+
+    >>> empirical_cdf([1, 2, 2, 4])
+    [(1.0, 0.25), (2.0, 0.75), (4.0, 1.0)]
+    """
+    if not values:
+        return []
+    ordered = np.sort(np.asarray(values, dtype=np.float64))
+    n = ordered.size
+    points: List[Tuple[float, float]] = []
+    for index, value in enumerate(ordered):
+        if index + 1 < n and ordered[index + 1] == value:
+            continue
+        points.append((float(value), (index + 1) / n))
+    return points
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values ≤ threshold (0.0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    array = np.asarray(values, dtype=np.float64)
+    return float(np.count_nonzero(array <= threshold)) / array.size
+
+
+def fraction_above(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values strictly greater than threshold."""
+    if not values:
+        return 0.0
+    return 1.0 - cdf_at(values, threshold)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (q in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def cdf_table(
+    values: Sequence[float], points: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """CDF sampled at chosen x points — how figures get tabulated."""
+    return [(float(x), cdf_at(values, x)) for x in points]
+
+
+def histogram_fractions(
+    values: Sequence[int],
+) -> List[Tuple[int, int, float]]:
+    """(value, count, fraction) rows for a discrete distribution,
+    sorted by value."""
+    if not values:
+        return []
+    counts: dict = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    total = len(values)
+    return [
+        (value, count, count / total)
+        for value, count in sorted(counts.items())
+    ]

@@ -1,0 +1,177 @@
+"""Full figure series export.
+
+The experiment runners print summary rows; regenerating the paper's
+*plots* needs the full point sets (CDFs, histograms, curves). This
+module produces those series from a built workspace and writes them as
+CSV files — one per figure panel — via ``hobbit-repro export``.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import random
+from typing import Dict, List, Tuple
+
+from ..aggregation.identical import size_histogram, top_blocks
+from ..net.blockset import visualization_coordinates
+from .adjacency import adjacent_pair_lengths, extremes_lengths
+from .cdf import empirical_cdf, histogram_fractions
+from .pathmetrics import (
+    lasthop_cardinality,
+    subpath_cardinality,
+    traceroute_cardinality,
+)
+
+Series = List[Tuple[object, ...]]
+
+
+def figure3_series(workspace) -> Dict[str, Series]:
+    """CDF point sets for the three Figure 3 panels."""
+    entire: List[int] = []
+    subpath: List[int] = []
+    lasthop: List[int] = []
+    for route_sets in workspace.path_dataset.values():
+        entire.append(traceroute_cardinality(route_sets))
+        subpath.append(subpath_cardinality(route_sets))
+        lasthop.append(lasthop_cardinality(route_sets))
+    return {
+        "fig3b_cdf_entire_path": empirical_cdf(entire),
+        "fig3b_cdf_sub_path": empirical_cdf(subpath),
+        "fig3b_cdf_last_hop": empirical_cdf(lasthop),
+    }
+
+
+def figure4_series(workspace) -> Dict[str, Series]:
+    """The full <cardinality, probed, confidence> grid."""
+    return {"fig4_confidence_grid": list(workspace.confidence_table.grid())}
+
+
+def figure5_series(workspace) -> Dict[str, Series]:
+    histogram = size_histogram(workspace.aggregation.identical_blocks)
+    return {
+        "fig5_block_sizes": sorted(histogram.items()),
+    }
+
+
+def figure7_series(workspace) -> Dict[str, Series]:
+    blocks = workspace.aggregation.final_blocks
+    return {
+        "fig7a_adjacent_lcp": [
+            (length, count, fraction)
+            for length, count, fraction in histogram_fractions(
+                adjacent_pair_lengths(blocks)
+            )
+        ],
+        "fig7b_extremes_lcp": [
+            (length, count, fraction)
+            for length, count, fraction in histogram_fractions(
+                extremes_lengths(blocks)
+            )
+        ],
+    }
+
+
+def figure8_series(workspace) -> Dict[str, Series]:
+    series: Dict[str, Series] = {}
+    for rank, block in enumerate(
+        top_blocks(workspace.aggregation.final_blocks, 9), start=1
+    ):
+        coordinates = visualization_coordinates(list(block.slash24s))
+        series[f"fig8_block_{rank}"] = [
+            (index, x) for index, x in enumerate(coordinates)
+        ]
+    return series
+
+
+def figure9_series(workspace) -> Dict[str, Series]:
+    matched: List[float] = []
+    unmatched: List[float] = []
+    aggregation = workspace.aggregation
+    for validation in aggregation.validations:
+        ratio = validation.identical_ratio
+        if aggregation.rule_matches.get(validation.cluster_index, False):
+            matched.append(ratio)
+        else:
+            unmatched.append(ratio)
+    return {
+        "fig9_cdf_matched": empirical_cdf(matched),
+        "fig9_cdf_unmatched": empirical_cdf(unmatched),
+    }
+
+
+def figure10_series(workspace) -> Dict[str, Series]:
+    aggregation = workspace.aggregation
+    before = size_histogram(aggregation.identical_blocks)
+    after = size_histogram(aggregation.final_blocks)
+    sizes = sorted(set(before) | set(after))
+    return {
+        "fig10_size_change": [
+            (size, before.get(size, 0), after.get(size, 0))
+            for size in sizes
+        ],
+    }
+
+
+def figure11_series(workspace) -> Dict[str, Series]:
+    from ..analysis.topo_discovery import (
+        discovery_curve,
+        groups_from_blocks,
+        groups_from_slash24s,
+    )
+    from ..net.prefix import Prefix
+
+    dataset: Dict[int, object] = {}
+    for per_dst in workspace.path_dataset.values():
+        dataset.update(per_dst)
+    slash24_count = len(workspace.path_dataset)
+    dataset_slash24s = set(workspace.path_dataset)
+    blocks: List[List[Prefix]] = []
+    covered: set = set()
+    for block in workspace.aggregation.final_blocks:
+        members = [p for p in block.slash24s if p in dataset_slash24s]
+        if members:
+            blocks.append(members)
+            covered.update(members)
+    for slash24 in dataset_slash24s - covered:
+        blocks.append([slash24])
+    rng = random.Random(workspace.internet.config.seed ^ 0x711)
+    hobbit = discovery_curve(
+        dataset, groups_from_blocks(dataset, blocks), slash24_count,
+        "Hobbit", rng,
+    )
+    per_24 = discovery_curve(
+        dataset, groups_from_slash24s(dataset), slash24_count, "/24", rng,
+    )
+    return {
+        "fig11_curve_hobbit": list(hobbit.points),
+        "fig11_curve_slash24": list(per_24.points),
+    }
+
+
+#: Figure id → series builder.
+FIGURE_BUILDERS = {
+    "fig3": figure3_series,
+    "fig4": figure4_series,
+    "fig5": figure5_series,
+    "fig7": figure7_series,
+    "fig8": figure8_series,
+    "fig9": figure9_series,
+    "fig10": figure10_series,
+    "fig11": figure11_series,
+}
+
+
+def export_figures(workspace, directory: str) -> List[str]:
+    """Write every figure's full series as CSV files; returns paths."""
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    for figure_id, builder in FIGURE_BUILDERS.items():
+        for name, series in builder(workspace).items():
+            path = os.path.join(directory, f"{name}.csv")
+            with open(path, "w", newline="") as handle:
+                writer = csv.writer(handle)
+                for row in series:
+                    writer.writerow(row)
+            written.append(path)
+    return written

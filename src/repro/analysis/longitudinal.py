@@ -1,0 +1,114 @@
+"""Longitudinal homogeneity analysis (the paper's stated future work).
+
+"We also plan to perform a longitudinal analysis of the homogeneity of
+/24 blocks to observe how IPv4 address exhaustion affects the address
+allocations." We run the Hobbit campaign at two widely-separated epochs
+of the same scenario and measure:
+
+* verdict stability — how often a /24 keeps its homogeneity verdict;
+* set stability — how often a /24's measured last-hop set is unchanged;
+* block persistence — Jaccard similarity of aggregated block
+  memberships across the runs.
+
+Topology is static in the simulator, so instability here isolates the
+*measurement* churn (availability, rate limiting, probe sampling) — the
+noise floor any real longitudinal study must subtract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping
+
+from ..aggregation.identical import aggregate_identical
+from ..core.pipeline import CampaignResult
+from ..net.prefix import Prefix
+
+
+@dataclass
+class LongitudinalComparison:
+    """Stability statistics between two campaign runs."""
+
+    slash24s_in_both: int
+    same_verdict: int
+    homogeneous_in_both: int
+    same_lasthop_set: int
+    block_jaccard_mean: float
+
+    @property
+    def verdict_stability(self) -> float:
+        if not self.slash24s_in_both:
+            return 0.0
+        return self.same_verdict / self.slash24s_in_both
+
+    @property
+    def set_stability(self) -> float:
+        if not self.homogeneous_in_both:
+            return 0.0
+        return self.same_lasthop_set / self.homogeneous_in_both
+
+
+def compare_campaigns(
+    first: CampaignResult, second: CampaignResult
+) -> LongitudinalComparison:
+    """Compare two campaigns over their common analyzable /24s."""
+    slash24s_in_both = 0
+    same_verdict = 0
+    homogeneous_in_both = 0
+    same_lasthop_set = 0
+    for slash24, m1 in first.measurements.items():
+        m2 = second.measurements.get(slash24)
+        if m2 is None:
+            continue
+        if not (m1.category.analyzable and m2.category.analyzable):
+            continue
+        slash24s_in_both += 1
+        if m1.is_homogeneous == m2.is_homogeneous:
+            same_verdict += 1
+        if m1.is_homogeneous and m2.is_homogeneous:
+            homogeneous_in_both += 1
+            if m1.lasthop_set == m2.lasthop_set:
+                same_lasthop_set += 1
+    jaccard = _block_membership_jaccard(
+        first.lasthop_sets(), second.lasthop_sets()
+    )
+    return LongitudinalComparison(
+        slash24s_in_both=slash24s_in_both,
+        same_verdict=same_verdict,
+        homogeneous_in_both=homogeneous_in_both,
+        same_lasthop_set=same_lasthop_set,
+        block_jaccard_mean=jaccard,
+    )
+
+
+def _block_membership_jaccard(
+    sets_a: Mapping[Prefix, FrozenSet[int]],
+    sets_b: Mapping[Prefix, FrozenSet[int]],
+) -> float:
+    """Mean best-match Jaccard similarity between the identical-set
+    blocks of the two runs (over /24 membership)."""
+    blocks_a = aggregate_identical(sets_a)
+    blocks_b = aggregate_identical(sets_b)
+    if not blocks_a or not blocks_b:
+        return 0.0
+    members_b: List[frozenset] = [
+        frozenset(block.slash24s) for block in blocks_b
+    ]
+    # Index /24 → block indices in run B for fast candidate lookup.
+    index_b: Dict[Prefix, List[int]] = {}
+    for i, members in enumerate(members_b):
+        for slash24 in members:
+            index_b.setdefault(slash24, []).append(i)
+    total = 0.0
+    for block in blocks_a:
+        members_a = frozenset(block.slash24s)
+        candidates = {
+            i for slash24 in members_a for i in index_b.get(slash24, ())
+        }
+        best = 0.0
+        for i in candidates:
+            other = members_b[i]
+            jaccard = len(members_a & other) / len(members_a | other)
+            best = max(best, jaccard)
+        total += best
+    return total / len(blocks_a)

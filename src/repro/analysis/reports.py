@@ -1,0 +1,124 @@
+"""Characterisation reports: Tables 3, 4 and 5.
+
+* Table 3 groups the strictly-heterogeneous /24s by ASN (via the
+  GeoLite-style database) and lists the top offenders.
+* Table 4 shows the WHOIS sub-allocation records for split /24s of the
+  top AS.
+* Table 5 identifies the owners of the largest homogeneous blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..aggregation.identical import AggregatedBlock, top_blocks
+from ..net.prefix import Prefix
+from ..netsim.geodb import GeoDatabase
+from ..netsim.orgs import OrgType
+from ..netsim.whois import WhoisRecord, WhoisService
+
+
+@dataclass(frozen=True)
+class AsnReportRow:
+    """One Table 3 row."""
+
+    rank: int
+    heterogeneous_slash24s: int
+    asn: int
+    organization: str
+    country: str
+    org_type: str
+
+
+def heterogeneous_by_asn(
+    slash24s: Sequence[Prefix],
+    geodb: GeoDatabase,
+    top: int = 10,
+) -> List[AsnReportRow]:
+    """Group heterogeneous /24s by ASN; return the top rows."""
+    counts: Dict[int, int] = {}
+    for slash24 in slash24s:
+        asn = geodb.asn_of(slash24.network)
+        if asn is not None:
+            counts[asn] = counts.get(asn, 0) + 1
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    rows: List[AsnReportRow] = []
+    for rank, (asn, count) in enumerate(ranked[:top], start=1):
+        record = None
+        for slash24 in slash24s:
+            if geodb.asn_of(slash24.network) == asn:
+                record = geodb.lookup(slash24.network)
+                break
+        rows.append(
+            AsnReportRow(
+                rank=rank,
+                heterogeneous_slash24s=count,
+                asn=asn,
+                organization=record.organization if record else "?",
+                country=record.country if record else "?",
+                org_type=record.org_type.value if record else "?",
+            )
+        )
+    return rows
+
+
+def whois_examples(
+    whois: WhoisService,
+    slash24s: Sequence[Prefix],
+    limit: int = 3,
+) -> List[Tuple[Prefix, List[WhoisRecord]]]:
+    """WHOIS records of split /24s — the Table 4 verification.
+
+    Returns up to ``limit`` /24s whose registry shows multiple
+    sub-allocations, each with its records.
+    """
+    examples: List[Tuple[Prefix, List[WhoisRecord]]] = []
+    for slash24 in slash24s:
+        records = whois.query(slash24)
+        if len(records) > 1:
+            examples.append((slash24, records))
+            if len(examples) >= limit:
+                break
+    return examples
+
+
+@dataclass(frozen=True)
+class TopBlockRow:
+    """One Table 5 row."""
+
+    rank: int
+    cluster_size: int
+    asn: Optional[int]
+    organization: str
+    country: str
+    org_type: str
+
+
+def top_block_report(
+    blocks: Sequence[AggregatedBlock],
+    geodb: GeoDatabase,
+    count: int = 15,
+) -> List[TopBlockRow]:
+    """Identify the owners of the largest homogeneous blocks."""
+    rows: List[TopBlockRow] = []
+    for rank, block in enumerate(top_blocks(list(blocks), count), start=1):
+        record = geodb.lookup(block.slash24s[0].network)
+        rows.append(
+            TopBlockRow(
+                rank=rank,
+                cluster_size=block.size,
+                asn=record.asn if record else None,
+                organization=record.organization if record else "?",
+                country=record.country if record else "?",
+                org_type=record.org_type.value if record else "?",
+            )
+        )
+    return rows
+
+
+def hosting_block_count(rows: Sequence[TopBlockRow]) -> int:
+    """How many of the top blocks belong to hosting companies (the
+    paper counts 7 of 15)."""
+    hosting_types = {OrgType.HOSTING.value, OrgType.HOSTING_CLOUD.value}
+    return sum(1 for row in rows if row.org_type in hosting_types)

@@ -1,0 +1,193 @@
+"""Command-line interface: run paper experiments and inspect scenarios.
+
+Examples::
+
+    hobbit-repro list
+    hobbit-repro run table1 --profile small
+    hobbit-repro run all --profile tiny
+    hobbit-repro scenario --profile small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import (
+    PROFILES,
+    experiment_ids,
+    get_workspace,
+    run_experiment,
+)
+from .util.tables import render_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hobbit-repro",
+        description="Reproduction of the Hobbit IMC 2016 paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list available experiments"
+    )
+
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids, or 'all'",
+    )
+    run_parser.add_argument(
+        "--profile",
+        default=None,
+        choices=sorted(PROFILES),
+        help="scenario sizing profile (default: $REPRO_PROFILE or small)",
+    )
+    run_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write results as a JSON document to PATH",
+    )
+
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="describe the profile's scenario and ground truth"
+    )
+    scenario_parser.add_argument(
+        "--profile",
+        default=None,
+        choices=sorted(PROFILES),
+    )
+
+    export_parser = subparsers.add_parser(
+        "export", help="write every figure's full data series as CSV"
+    )
+    export_parser.add_argument("directory", help="output directory")
+    export_parser.add_argument(
+        "--profile", default=None, choices=sorted(PROFILES)
+    )
+
+    validate_parser = subparsers.add_parser(
+        "validate",
+        help="score the pipeline against the simulator's ground truth",
+    )
+    validate_parser.add_argument(
+        "--profile", default=None, choices=sorted(PROFILES)
+    )
+    return parser
+
+
+def command_list() -> int:
+    rows = [[experiment_id] for experiment_id in experiment_ids()]
+    print(render_table(["experiment"], rows))
+    return 0
+
+
+def command_run(
+    ids: List[str], profile: Optional[str], json_path: Optional[str] = None
+) -> int:
+    workspace = get_workspace(profile)
+    chosen = experiment_ids() if ids == ["all"] else ids
+    failures = 0
+    documents = []
+    for experiment_id in chosen:
+        start = time.perf_counter()
+        try:
+            result = run_experiment(experiment_id, workspace)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        except Exception as error:  # surface which experiment broke
+            failures += 1
+            print(f"[{experiment_id}] FAILED: {error}", file=sys.stderr)
+            continue
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{experiment_id}] done in {elapsed:.1f}s\n")
+        documents.append(
+            {
+                "experiment": result.experiment_id,
+                "title": result.title,
+                "headers": result.headers,
+                "rows": [[str(cell) for cell in row] for row in result.rows],
+                "notes": result.notes,
+                "seconds": round(elapsed, 2),
+            }
+        )
+    if json_path is not None:
+        import json
+
+        with open(json_path, "w") as handle:
+            json.dump(
+                {
+                    "profile": workspace.profile.name,
+                    "experiments": documents,
+                },
+                handle,
+                indent=2,
+            )
+        print(f"wrote {json_path}")
+    return 1 if failures else 0
+
+
+def command_scenario(profile: Optional[str]) -> int:
+    workspace = get_workspace(profile)
+    internet = workspace.internet
+    summary = internet.ground_truth.summary()
+    rows = [[key, value] for key, value in internet.stats().items()]
+    rows += [[key, value] for key, value in summary.items()]
+    print(render_table(["quantity", "value"], rows,
+                       title=f"scenario ({workspace.profile.name})"))
+    return 0
+
+
+def command_export(directory: str, profile: Optional[str]) -> int:
+    from .analysis.figures import export_figures
+
+    workspace = get_workspace(profile)
+    workspace.ensure_built()
+    written = export_figures(workspace, directory)
+    for path in written:
+        print(path)
+    print(f"wrote {len(written)} series files to {directory}")
+    return 0
+
+
+def command_validate(profile: Optional[str]) -> int:
+    from .analysis.scoring import score_pipeline
+
+    workspace = get_workspace(profile)
+    workspace.ensure_built()
+    report = score_pipeline(
+        workspace.internet,
+        workspace.campaign,
+        workspace.aggregation.final_blocks,
+    )
+    print(render_table(
+        ["quantity", "value"], report.rows(),
+        title=f"pipeline vs ground truth ({workspace.profile.name})",
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return command_list()
+    if args.command == "run":
+        return command_run(args.experiments, args.profile, args.json)
+    if args.command == "scenario":
+        return command_scenario(args.profile)
+    if args.command == "export":
+        return command_export(args.directory, args.profile)
+    if args.command == "validate":
+        return command_validate(args.profile)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Hobbit: homogeneous block identification (the paper's core
+contribution). Grouping, the hierarchy test, destination selection,
+termination policies, per-/24 classification and the campaign driver."""
+
+from .classifier import (
+    Category,
+    Slash24Measurement,
+    classify_observations,
+    measure_slash24,
+)
+from .confidence import (
+    PAPER_SAMPLES_PER_CELL,
+    ConfidenceCell,
+    ConfidenceTable,
+    single_lasthop_table,
+)
+from .grouping import (
+    Observations,
+    cardinality,
+    group_by_lasthop,
+    group_by_value,
+    group_ranges,
+    union_lasthops,
+)
+from .heterogeneity import (
+    SubBlockAnalysis,
+    analyze_sub_blocks,
+    composition_distribution,
+    format_composition,
+)
+from .hierarchy import (
+    find_non_hierarchical_pair,
+    groups_hierarchical,
+    groups_non_hierarchical,
+    pairwise_relationships,
+    ranges_hierarchical,
+)
+from .pipeline import CampaignResult, default_policy, run_campaign
+from .selection import (
+    MIN_ACTIVE_ADDRESSES,
+    meets_selection_criteria,
+    one_per_slash26,
+    round_robin_order,
+    slash26_groups,
+    slash31_pair,
+)
+from .termination import (
+    ExhaustivePolicy,
+    ReprobePolicy,
+    StopReason,
+    TerminationPolicy,
+)
+
+__all__ = [
+    "CampaignResult",
+    "Category",
+    "ConfidenceCell",
+    "ConfidenceTable",
+    "ExhaustivePolicy",
+    "MIN_ACTIVE_ADDRESSES",
+    "Observations",
+    "PAPER_SAMPLES_PER_CELL",
+    "ReprobePolicy",
+    "Slash24Measurement",
+    "StopReason",
+    "SubBlockAnalysis",
+    "TerminationPolicy",
+    "analyze_sub_blocks",
+    "cardinality",
+    "classify_observations",
+    "composition_distribution",
+    "default_policy",
+    "find_non_hierarchical_pair",
+    "format_composition",
+    "group_by_lasthop",
+    "group_by_value",
+    "group_ranges",
+    "groups_hierarchical",
+    "groups_non_hierarchical",
+    "measure_slash24",
+    "meets_selection_criteria",
+    "one_per_slash26",
+    "pairwise_relationships",
+    "ranges_hierarchical",
+    "round_robin_order",
+    "run_campaign",
+    "single_lasthop_table",
+    "slash26_groups",
+    "slash31_pair",
+    "union_lasthops",
+]

@@ -1,0 +1,153 @@
+"""The <cardinality, probed addresses> confidence table (Section 3.2).
+
+Hobbit can fail to recognise a homogeneous /24: load-balancer hashing
+may scatter addresses into groups that *happen* to look hierarchical.
+The failure probability falls as more addresses are probed and rises
+with cardinality, so the paper builds an empirical table: for every
+combination of destinations drawn from /24s known (from exhaustive
+probing) to be homogeneous, would Hobbit's test pass on just that
+combination? The resulting confidence per <cardinality, number probed>
+cell then drives termination: keep probing until the cell reaches the
+95% level (Section 3.5).
+
+The paper samples 16,588 combinations per cell (99% level / 1% margin);
+the builder here takes the sample budget as a parameter since our
+scenario sizes vary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .grouping import (
+    Observations,
+    group_by_lasthop,
+    identical_lasthop_sets,
+    union_lasthops,
+)
+from .hierarchy import groups_hierarchical
+
+DEFAULT_LEVEL = 0.95
+#: The paper's per-cell sample size (99% confidence, 1% margin).
+PAPER_SAMPLES_PER_CELL = 16_588
+
+
+@dataclass
+class ConfidenceCell:
+    successes: int = 0
+    trials: int = 0
+
+    @property
+    def confidence(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+
+class ConfidenceTable:
+    """Confidence that Hobbit recognises a homogeneous /24, per
+    <cardinality, number of probed addresses> cell."""
+
+    def __init__(self, min_trials: int = 50) -> None:
+        self._cells: Dict[Tuple[int, int], ConfidenceCell] = {}
+        #: Cells with fewer trials than this answer "unknown".
+        self.min_trials = min_trials
+
+    # -- construction ---------------------------------------------------
+
+    def record(self, cardinality: int, probed: int, success: bool) -> None:
+        cell = self._cells.setdefault(
+            (cardinality, probed), ConfidenceCell()
+        )
+        cell.trials += 1
+        if success:
+            cell.successes += 1
+
+    @classmethod
+    def build(
+        cls,
+        datasets: Mapping[object, Observations],
+        seed: int = 0,
+        samples_per_block: int = 64,
+        max_probed: int = 50,
+        min_trials: int = 50,
+    ) -> "ConfidenceTable":
+        """Build the table from exhaustive last-hop datasets of
+        known-homogeneous /24s.
+
+        ``datasets`` maps a /24 key to its full per-address last-hop
+        observations. For each /24 and each subset size, draws
+        ``samples_per_block`` random subsets and tests whether Hobbit's
+        homogeneity test passes on the subset alone.
+        """
+        table = cls(min_trials=min_trials)
+        rng = random.Random(seed)
+        for observations in datasets.values():
+            addresses = sorted(observations)
+            if len(addresses) < 4:
+                continue
+            full_cardinality = len(union_lasthops(observations))
+            for probed in range(4, min(len(addresses), max_probed) + 1):
+                for _ in range(samples_per_block):
+                    subset = rng.sample(addresses, probed)
+                    sub_obs = {a: observations[a] for a in subset}
+                    table.record(
+                        full_cardinality, probed, _recognised(sub_obs)
+                    )
+        return table
+
+    # -- queries -----------------------------------------------------------
+
+    def confidence(self, cardinality: int, probed: int) -> Optional[float]:
+        """Confidence for a cell, or None if the cell is unpopulated
+        (the paper then probes all active addresses)."""
+        cell = self._cells.get((cardinality, probed))
+        if cell is None or cell.trials < self.min_trials:
+            return None
+        return cell.confidence
+
+    def required_probes(
+        self, cardinality: int, level: float = DEFAULT_LEVEL
+    ) -> Optional[int]:
+        """Smallest number of probed addresses reaching ``level`` for
+        this cardinality; None if no populated cell reaches it."""
+        candidates = [
+            probed
+            for (card, probed), cell in self._cells.items()
+            if card == cardinality
+            and cell.trials >= self.min_trials
+            and cell.confidence >= level
+        ]
+        return min(candidates) if candidates else None
+
+    def cells(self) -> Dict[Tuple[int, int], ConfidenceCell]:
+        return dict(self._cells)
+
+    def grid(self) -> List[Tuple[int, int, float]]:
+        """(cardinality, probed, confidence) triples — Figure 4's data."""
+        return sorted(
+            (card, probed, cell.confidence)
+            for (card, probed), cell in self._cells.items()
+            if cell.trials >= self.min_trials
+        )
+
+
+def _recognised(observations: Observations) -> bool:
+    """Would Hobbit call these observations homogeneous?
+
+    Either a single common last-hop router, or a non-hierarchical
+    grouping.
+    """
+    lasthops = union_lasthops(observations)
+    if len(lasthops) <= 1 or identical_lasthop_sets(observations):
+        return True
+    groups = group_by_lasthop(observations)
+    return not groups_hierarchical(groups)
+
+
+def single_lasthop_table(max_cardinality: int = 40) -> ConfidenceTable:
+    """A degenerate table for tests: cardinality 1 always confident."""
+    table = ConfidenceTable(min_trials=1)
+    for probed in range(4, 51):
+        table.record(1, probed, True)
+    return table

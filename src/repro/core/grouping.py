@@ -1,0 +1,82 @@
+"""Grouping addresses by last-hop router (or any route metric).
+
+Hobbit's hierarchy test operates on *groups*: the probed addresses of a
+/24 are grouped by the value of a metric (last-hop router address,
+entire route, sub-path), and each group is summarised by the numeric
+range from its smallest to its largest address (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Mapping
+
+from ..net.prefix import AddressRange
+
+#: Per-destination observation: the set of last-hop router addresses
+#: discovered for that destination (singleton unless per-flow balancing
+#: reaches the last hop; empty if no last-hop router answered).
+Observations = Mapping[int, FrozenSet[int]]
+
+
+def group_by_value(observations: Mapping[int, Hashable]) -> Dict[Hashable, List[int]]:
+    """Group destination addresses by a single-valued metric (e.g. an
+    entire-route signature)."""
+    groups: Dict[Hashable, List[int]] = {}
+    for addr, value in observations.items():
+        groups.setdefault(value, []).append(addr)
+    for members in groups.values():
+        members.sort()
+    return groups
+
+
+def group_by_lasthop(observations: Observations) -> Dict[int, List[int]]:
+    """Group destinations by last-hop router.
+
+    A destination with several last-hop routers joins every matching
+    group; destinations with no responsive last-hop join none.
+    """
+    groups: Dict[int, List[int]] = {}
+    for addr, lasthops in observations.items():
+        for lasthop in lasthops:
+            groups.setdefault(lasthop, []).append(addr)
+    for members in groups.values():
+        members.sort()
+    return groups
+
+
+def group_ranges(groups: Mapping[Hashable, List[int]]) -> List[AddressRange]:
+    """The numeric range of each group, in a stable order."""
+    ranges = [
+        AddressRange(min(members), max(members))
+        for members in groups.values()
+        if members
+    ]
+    ranges.sort()
+    return ranges
+
+
+def union_lasthops(observations: Observations) -> FrozenSet[int]:
+    """All last-hop routers seen for the /24 — the set Section 5
+    associates with each homogeneous /24 for aggregation."""
+    result: set = set()
+    for lasthops in observations.values():
+        result.update(lasthops)
+    return frozenset(result)
+
+
+def cardinality(observations: Observations) -> int:
+    """Number of distinct last-hop routers observed (Section 3.2's
+    cardinality in the last-hop metric)."""
+    return len(union_lasthops(observations))
+
+
+def identical_lasthop_sets(observations: Observations) -> bool:
+    """True when every destination produced the same last-hop set.
+
+    This generalises "all the addresses have a common last-hop router"
+    to per-flow load-balanced last hops: if every address reaches the
+    same *set* of routers, the divergence carries no route-entry
+    information and the /24 is homogeneous.
+    """
+    distinct = {lasthops for lasthops in observations.values()}
+    return len(distinct) <= 1

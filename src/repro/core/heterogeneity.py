@@ -1,0 +1,111 @@
+"""Mining "very likely heterogeneous" /24s (Section 4.2, Table 2).
+
+Hobbit's "different but hierarchical" category mixes genuinely
+heterogeneous /24s with homogeneous ones it failed to recognise (≤5%
+each, by the termination confidence). Section 4.2 extracts the /24s
+that are *very likely* heterogeneous with two extra criteria on the
+last-hop groups:
+
+1. **Disjoint**: every pair of groups is disjoint (none inclusive).
+2. **Aligned**: representing each group by the subnet whose prefix is
+   the longest common prefix of the group's addresses, every subnet
+   contains only that group's addresses.
+
+The paper verified that homogeneous /24s meet both criteria with
+probability below 0.1%.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..net.prefix import AddressRange, Prefix, enclosing_prefix
+from .grouping import Observations, group_by_lasthop
+
+
+@dataclass
+class SubBlockAnalysis:
+    """Result of the strict heterogeneity test on one /24."""
+
+    strictly_heterogeneous: bool
+    #: Enclosing subnet of each last-hop group (when strict).
+    sub_blocks: Tuple[Prefix, ...] = ()
+
+    @property
+    def composition(self) -> Tuple[int, ...]:
+        """Sorted sub-block prefix lengths — a Table 2 row key."""
+        return tuple(sorted(block.length for block in self.sub_blocks))
+
+
+def analyze_sub_blocks(
+    observations: Observations,
+    min_group_size: int = 2,
+    min_observations: int = 10,
+) -> SubBlockAnalysis:
+    """Apply the disjoint + aligned criteria to a /24's observations.
+
+    Two evidence guards keep the paper's <0.1% false-positive rate:
+    ``min_group_size`` rejects singleton groups (a one-address group
+    trivially satisfies alignment — its enclosing subnet is a /32), and
+    ``min_observations`` rejects /24s whose probing stopped after a
+    handful of destinations, where any hash split can look aligned by
+    chance. Real split sub-blocks have several responsive customers
+    each and survive both guards.
+    """
+    if len(observations) < min_observations:
+        return SubBlockAnalysis(strictly_heterogeneous=False)
+    groups = group_by_lasthop(observations)
+    if len(groups) < 2:
+        return SubBlockAnalysis(strictly_heterogeneous=False)
+    if any(len(members) < min_group_size for members in groups.values()):
+        return SubBlockAnalysis(strictly_heterogeneous=False)
+
+    members = [sorted(addresses) for addresses in groups.values()]
+    ranges = [AddressRange(m[0], m[-1]) for m in members]
+
+    # Criterion 1: pairwise disjoint (inclusive pairs disqualify).
+    for i, a in enumerate(ranges):
+        for b in ranges[i + 1:]:
+            if not a.disjoint(b):
+                return SubBlockAnalysis(strictly_heterogeneous=False)
+
+    # Criterion 2: aligned — each group's enclosing subnet contains no
+    # other group's addresses.
+    subnets = [enclosing_prefix(m) for m in members]
+    for i, subnet in enumerate(subnets):
+        for j, other_members in enumerate(members):
+            if i == j:
+                continue
+            if any(subnet.contains_address(addr) for addr in other_members):
+                return SubBlockAnalysis(strictly_heterogeneous=False)
+
+    return SubBlockAnalysis(
+        strictly_heterogeneous=True,
+        sub_blocks=tuple(sorted(subnets)),
+    )
+
+
+def composition_distribution(
+    analyses: List[SubBlockAnalysis],
+) -> List[Tuple[Tuple[int, ...], int, float]]:
+    """Table 2: (composition, count, ratio) over the strict /24s,
+    sorted by descending ratio."""
+    counts: Counter = Counter(
+        analysis.composition
+        for analysis in analyses
+        if analysis.strictly_heterogeneous
+    )
+    total = sum(counts.values())
+    rows = [
+        (composition, count, count / total if total else 0.0)
+        for composition, count in counts.items()
+    ]
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    return rows
+
+
+def format_composition(composition: Tuple[int, ...]) -> str:
+    """Render a composition the way Table 2 does: ``{/25, /26, /26}``."""
+    return "{" + ", ".join(f"/{length}" for length in composition) + "}"

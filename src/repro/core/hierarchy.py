@@ -1,0 +1,80 @@
+"""The hierarchy test — Hobbit's central inference (Section 2.3).
+
+Route entries are installed for destination *networks*, and networks
+nest: any two route entries are either disjoint (siblings) or one
+contains the other (parent/child). So if probed addresses are grouped by
+last-hop router and the groups' numeric ranges are pairwise
+hierarchical, the divergence *may* come from distinct route entries —
+the /24 may be heterogeneous. If even one pair of ranges overlaps
+without containment (non-hierarchical), no set of route entries could
+produce it; the divergence must be load balancing, and the /24 is
+homogeneous (Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Mapping, Sequence, Tuple
+
+from ..net.prefix import AddressRange
+from .grouping import group_ranges
+
+
+def ranges_hierarchical(ranges: Sequence[AddressRange]) -> bool:
+    """True if every pair of ranges is disjoint or nested."""
+    return find_non_hierarchical_pair(ranges) is None
+
+
+def find_non_hierarchical_pair(
+    ranges: Sequence[AddressRange],
+) -> Tuple[AddressRange, AddressRange] | None:
+    """The first pair of ranges that overlaps without containment, or
+    None if the relationships are fully hierarchical.
+
+    O(n log n): after sorting by (first, -size), a range can only
+    non-hierarchically overlap a predecessor that ends inside it.
+    """
+    ordered = sorted(ranges, key=lambda r: (r.first, -r.last))
+    # Stack of currently-open enclosing ranges.
+    stack: List[AddressRange] = []
+    for current in ordered:
+        while stack and stack[-1].last < current.first:
+            stack.pop()
+        if stack:
+            enclosing = stack[-1]
+            if enclosing.last < current.last or enclosing == current:
+                # Partial overlap, or equal ranges (which only shared
+                # addresses — i.e. load balancing — can produce).
+                return (enclosing, current)
+        stack.append(current)
+    return None
+
+
+def groups_hierarchical(groups: Mapping[Hashable, List[int]]) -> bool:
+    """Hierarchy test straight from grouped addresses."""
+    return ranges_hierarchical(group_ranges(groups))
+
+
+def groups_non_hierarchical(groups: Mapping[Hashable, List[int]]) -> bool:
+    """True when the grouping *proves* homogeneity (Section 2.3's
+    contrapositive): some pair of groups is non-hierarchical."""
+    return not groups_hierarchical(groups)
+
+
+def pairwise_relationships(
+    ranges: Sequence[AddressRange],
+) -> List[Tuple[AddressRange, AddressRange, str]]:
+    """Label every pair: "disjoint", "inclusive" or "non-hierarchical".
+
+    Quadratic — intended for analysis/debugging, not the hot path.
+    """
+    labels = []
+    for i, a in enumerate(ranges):
+        for b in ranges[i + 1:]:
+            if a.disjoint(b):
+                label = "disjoint"
+            elif a != b and (a.contains(b) or b.contains(a)):
+                label = "inclusive"
+            else:
+                label = "non-hierarchical"
+            labels.append((a, b, label))
+    return labels

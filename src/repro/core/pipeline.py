@@ -1,0 +1,117 @@
+"""The end-to-end Hobbit measurement campaign.
+
+Mirrors the paper's pipeline: take a ZMap activity snapshot, select the
+/24s meeting the Section 3.3 criteria, measure each with the classifier,
+and summarise into Table 1 counts. The campaign result carries each
+/24's last-hop router set onward to the aggregation stage (Sections 5
+and 6).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from ..net.prefix import Prefix
+from ..netsim.internet import SimulatedInternet
+from ..probing.session import Prober
+from ..probing.zmap import ActivitySnapshot, scan
+from .classifier import Category, Slash24Measurement, measure_slash24
+from .confidence import ConfidenceTable
+from .termination import ReprobePolicy, TerminationPolicy
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of measuring a set of /24s."""
+
+    measurements: Dict[Prefix, Slash24Measurement] = field(default_factory=dict)
+    probes_used: int = 0
+
+    def add(self, measurement: Slash24Measurement) -> None:
+        self.measurements[measurement.slash24] = measurement
+        self.probes_used += measurement.probes_used
+
+    # -- Table 1 ---------------------------------------------------------
+
+    def category_counts(self) -> Dict[Category, int]:
+        counts = {category: 0 for category in Category}
+        for measurement in self.measurements.values():
+            counts[measurement.category] += 1
+        return counts
+
+    @property
+    def total(self) -> int:
+        return len(self.measurements)
+
+    def analyzable(self) -> List[Slash24Measurement]:
+        return [
+            m for m in self.measurements.values() if m.category.analyzable
+        ]
+
+    def homogeneous(self) -> List[Slash24Measurement]:
+        return [
+            m for m in self.measurements.values() if m.is_homogeneous
+        ]
+
+    def by_category(self, category: Category) -> List[Slash24Measurement]:
+        return [
+            m
+            for m in self.measurements.values()
+            if m.category is category
+        ]
+
+    def homogeneous_fraction_of_analyzable(self) -> float:
+        analyzable = self.analyzable()
+        if not analyzable:
+            return 0.0
+        return sum(m.is_homogeneous for m in analyzable) / len(analyzable)
+
+    def lasthop_sets(self) -> Dict[Prefix, FrozenSet[int]]:
+        """Homogeneous /24 → its last-hop router set (the aggregation
+        input of Section 5)."""
+        return {
+            m.slash24: m.lasthop_set
+            for m in self.homogeneous()
+            if m.lasthop_set
+        }
+
+
+def run_campaign(
+    internet: SimulatedInternet,
+    policy: TerminationPolicy | ReprobePolicy,
+    slash24s: Optional[Iterable[Prefix]] = None,
+    snapshot: Optional[ActivitySnapshot] = None,
+    seed: int = 0,
+    max_probes: Optional[int] = None,
+    max_destinations_per_slash24: Optional[int] = None,
+) -> CampaignResult:
+    """Measure every selected /24 and classify it.
+
+    When ``slash24s`` is None, all snapshot-eligible /24s are measured
+    (the paper's 3.37M, at our scenario's scale).
+    """
+    if snapshot is None:
+        snapshot = scan(internet)
+    if slash24s is None:
+        slash24s = snapshot.eligible_slash24s()
+    prober = Prober(internet, max_probes=max_probes)
+    rng = random.Random(seed)
+    result = CampaignResult()
+    for slash24 in slash24s:
+        measurement = measure_slash24(
+            prober,
+            slash24,
+            snapshot.active_in(slash24),
+            policy,
+            rng,
+            max_destinations=max_destinations_per_slash24,
+        )
+        result.add(measurement)
+    return result
+
+
+def default_policy(confidence_table: ConfidenceTable) -> TerminationPolicy:
+    """The paper's original strategy with a built confidence table."""
+    return TerminationPolicy(confidence_table=confidence_table)

@@ -1,0 +1,127 @@
+"""Probing termination rules (Sections 3.5 and 6.5).
+
+The original strategy stops as soon as the verdict is decided:
+
+* a non-hierarchical grouping has appeared (→ homogeneous), or
+* six destinations in a row produced one common last-hop router (the
+  MDA single-interface rule transplanted to last-hop routers), or
+* enough destinations have been probed to reach the 95% cell of the
+  confidence table for the observed cardinality. If that cell is
+  unpopulated, Hobbit probes every active address.
+
+The modified strategy (Section 6.5, used for cluster validation) never
+stops on non-hierarchy and probes up to the full interface-enumeration
+budget, to maximise the chance of discovering *all* last-hop routers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..probing.stopping import probes_required
+from .confidence import DEFAULT_LEVEL, ConfidenceTable
+from .grouping import (
+    Observations,
+    group_by_lasthop,
+    identical_lasthop_sets,
+    union_lasthops,
+)
+from .hierarchy import groups_hierarchical
+
+
+class StopReason(Enum):
+    NON_HIERARCHICAL = "non-hierarchical"
+    SINGLE_LASTHOP = "single-lasthop"
+    CONFIDENCE_REACHED = "confidence-reached"
+    ENUMERATION_COMPLETE = "enumeration-complete"
+
+
+@dataclass
+class TerminationPolicy:
+    """The original Section 3.5 strategy (defaults) and its ablations."""
+
+    confidence_table: Optional[ConfidenceTable] = None
+    confidence_level: float = DEFAULT_LEVEL
+    single_lasthop_rule: bool = True
+    single_lasthop_probes: int = 6
+    stop_on_non_hierarchical: bool = True
+
+    def should_stop(self, observations: Observations) -> Optional[StopReason]:
+        """Decide after each probed destination whether to stop.
+
+        ``observations`` covers destinations with at least one
+        responsive last-hop router.
+        """
+        probed = len(observations)
+        if probed == 0:
+            return None
+        lasthops = union_lasthops(observations)
+        cardinality = len(lasthops)
+        if self.stop_on_non_hierarchical and cardinality > 1:
+            if not groups_hierarchical(group_by_lasthop(observations)):
+                return StopReason.NON_HIERARCHICAL
+        if (
+            self.single_lasthop_rule
+            and cardinality == 1
+            and probed >= self.single_lasthop_probes
+        ):
+            return StopReason.SINGLE_LASTHOP
+        if (
+            self.stop_on_non_hierarchical
+            and cardinality > 1
+            and probed >= self.single_lasthop_probes
+            and identical_lasthop_sets(observations)
+        ):
+            # All destinations share one multi-router set: per-flow
+            # load balancing at the last hop; homogeneous.
+            return StopReason.NON_HIERARCHICAL
+        if self.confidence_table is not None:
+            required = self.confidence_table.required_probes(
+                cardinality, self.confidence_level
+            )
+            if required is not None and probed >= required:
+                return StopReason.CONFIDENCE_REACHED
+        return None
+
+    def required_probes(self, observations: Observations) -> Optional[int]:
+        """The confidence-table requirement for the observed
+        cardinality; None means "no populated cell reaches the level",
+        in which case the paper probes every active address and
+        classifies whatever it gathered (Section 3.5)."""
+        if self.confidence_table is None:
+            return None
+        cardinality = len(union_lasthops(observations))
+        return self.confidence_table.required_probes(
+            cardinality, self.confidence_level
+        )
+
+
+@dataclass
+class ExhaustivePolicy:
+    """Never stop: probe every active address.
+
+    Used to build the exhaustive last-hop datasets behind the
+    confidence table (Section 3.2) and the metric comparison
+    (Section 3.1).
+    """
+
+    def should_stop(self, observations: Observations) -> Optional[StopReason]:
+        return None
+
+
+@dataclass
+class ReprobePolicy:
+    """The modified Section 6.5 strategy: enumerate everything."""
+
+    confidence_level: float = DEFAULT_LEVEL
+
+    def should_stop(self, observations: Observations) -> Optional[StopReason]:
+        probed = len(observations)
+        if probed == 0:
+            return None
+        cardinality = len(union_lasthops(observations))
+        if probed >= probes_required(max(cardinality, 1), self.confidence_level):
+            return StopReason.ENUMERATION_COMPLETE
+        return None

@@ -1,0 +1,24 @@
+"""Experiment runners: one module per table/figure of the paper, plus
+the Section 2/3 preliminary studies and two design ablations."""
+
+from .common import (
+    PROFILES,
+    ExperimentResult,
+    Profile,
+    Workspace,
+    active_profile_name,
+    get_workspace,
+)
+from .registry import EXPERIMENTS, experiment_ids, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "PROFILES",
+    "Profile",
+    "Workspace",
+    "active_profile_name",
+    "experiment_ids",
+    "get_workspace",
+    "run_experiment",
+]

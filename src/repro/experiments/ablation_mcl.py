@@ -1,0 +1,81 @@
+"""Ablation: MCL preprocessing (Section 6.3's two steps).
+
+Compares clustering with and without connected-component splitting, and
+quantifies what the weight-1 pre-aggregation (running MCL on
+identical-set blocks instead of raw /24s) saves in graph size. Both
+steps exist to tame MCL's O(N^3)/O(N^2) costs without changing results.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from ..aggregation import (
+    build_similarity_graph,
+    mcl,
+    run_mcl_on_components,
+)
+from .common import ExperimentResult, Workspace
+
+
+def run(workspace: Workspace) -> ExperimentResult:
+    aggregation = workspace.aggregation
+    graph = aggregation.graph
+    inflation = aggregation.inflation
+
+    # With component splitting (the pipeline's way).
+    start = time.perf_counter()
+    split_clusters = run_mcl_on_components(graph, inflation)
+    split_seconds = time.perf_counter() - start
+
+    # Without: one MCL run over the whole graph.
+    start = time.perf_counter()
+    whole = mcl(graph.to_sparse(), inflation=inflation)
+    whole_seconds = time.perf_counter() - start
+
+    split_multi = sum(1 for c in split_clusters if len(c) > 1)
+    whole_multi = sum(1 for c in whole.clusters if len(c) > 1)
+    agreement = _cluster_agreement(split_clusters, whole.clusters)
+
+    homogeneous_24s = len(workspace.campaign.lasthop_sets())
+    rows: List[List[object]] = [
+        [
+            "per component",
+            graph.vertex_count,
+            len(split_clusters),
+            split_multi,
+            f"{split_seconds * 1000:.0f} ms",
+        ],
+        [
+            "whole graph",
+            graph.vertex_count,
+            len(whole.clusters),
+            whole_multi,
+            f"{whole_seconds * 1000:.0f} ms",
+        ],
+    ]
+    return ExperimentResult(
+        experiment_id="ablation-mcl",
+        title="Ablation: MCL preprocessing",
+        headers=["variant", "vertices", "clusters", "multi-block", "time"],
+        rows=rows,
+        notes=(
+            f"weight-1 pre-aggregation shrank the graph from "
+            f"{homogeneous_24s} /24s to {graph.vertex_count} vertices "
+            f"(paper: 1.77M → 0.53M); component count "
+            f"{len(graph.connected_components())}; cluster agreement "
+            f"between variants {agreement * 100:.0f}%"
+        ),
+    )
+
+
+def _cluster_agreement(a: List[List[int]], b: List[List[int]]) -> float:
+    """Fraction of vertices whose cluster memberships coincide (as
+    frozensets) between the two clusterings."""
+    clusters_a = {frozenset(c) for c in a}
+    clusters_b = {frozenset(c) for c in b}
+    shared = clusters_a & clusters_b
+    total = sum(len(c) for c in clusters_a)
+    agreeing = sum(len(c) for c in shared)
+    return agreeing / total if total else 1.0

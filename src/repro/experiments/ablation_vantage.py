@@ -1,0 +1,67 @@
+"""Ablation: vantage-point diversity vs clustering (Section 6.1).
+
+The paper chose MCL clustering over "probing /24s varying vantage points
+and times" because of measurement load. This ablation quantifies the
+trade: per added vantage address, how much more complete last-hop sets
+become, how many more same-block /24 pairs become identical (mergeable
+by Section 5's aggregation alone), and what it costs in probes.
+"""
+
+from __future__ import annotations
+
+from ..analysis.multivantage import study_vantages
+from .common import ExperimentResult, Workspace
+
+SAMPLE_SLASH24S = 48
+VANTAGES = 3
+
+
+def run(workspace: Workspace) -> ExperimentResult:
+    internet = workspace.internet
+    truth = internet.ground_truth
+    # Multi-lasthop homogeneous /24s: the ones with something to gain.
+    sample = [
+        slash24
+        for slash24 in workspace.eligible_slash24s()
+        if truth.is_homogeneous(slash24)
+        and len(truth.lasthop_set_of(slash24)) >= 2
+    ][:SAMPLE_SLASH24S]
+    study = study_vantages(
+        internet,
+        workspace.snapshot,
+        sample,
+        vantage_count=VANTAGES,
+        seed=internet.config.seed ^ 0x7A9,
+    )
+    rows = []
+    cumulative_probes = 0
+    for vantages in range(1, VANTAGES + 1):
+        cumulative_probes += study.probes_per_vantage[vantages - 1]
+        rows.append(
+            [
+                vantages,
+                f"{study.completeness(internet, vantages) * 100:.1f}%",
+                f"{study.identical_pair_fraction(internet, vantages) * 100:.1f}%",
+                cumulative_probes,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="ablation-vantage",
+        title=(
+            "Ablation: vantage diversity vs clustering "
+            f"({len(sample)} multi-last-hop /24s)"
+        ),
+        headers=[
+            "vantages",
+            "last-hop set completeness",
+            "identical same-block pairs",
+            "cumulative probes",
+        ],
+        rows=rows,
+        notes=(
+            "extra vantages complete per-destination last-hop sets "
+            "(source-hashing balancers resolve differently per source) "
+            "but roughly multiply probing load — the trade-off that "
+            "made the paper prefer clustering + targeted reprobing"
+        ),
+    )

@@ -1,0 +1,362 @@
+"""Shared experiment infrastructure.
+
+A :class:`Workspace` lazily builds and caches the heavy artifacts every
+experiment consumes — the simulated Internet, the ZMap snapshot, the
+exhaustive training datasets, the confidence table, the measurement
+campaign and the aggregation outcome — so that running all benches
+shares one build per profile.
+
+Profiles scale the scenario: ``tiny`` for tests, ``small`` for bench
+runs, ``paper`` for the fullest (still scaled-down) reproduction. Select
+with the ``REPRO_PROFILE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+from ..aggregation import AggregationOutcome, run_aggregation
+from ..core import (
+    CampaignResult,
+    ConfidenceTable,
+    ExhaustivePolicy,
+    Slash24Measurement,
+    TerminationPolicy,
+    measure_slash24,
+    run_campaign,
+)
+from ..core.heterogeneity import SubBlockAnalysis, analyze_sub_blocks
+from ..net.prefix import Prefix
+from ..netsim import (
+    ScenarioConfig,
+    SimulatedInternet,
+    paper_scenario,
+    tiny_scenario,
+)
+from ..probing import ActivitySnapshot, Prober, enumerate_paths, scan
+from ..probing.traceroute import Route
+from ..util.tables import render_table
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Sizing knobs for one experiment profile."""
+
+    name: str
+    scenario_seed: int = 2016
+    scenario_scale: float = 0.07
+    use_tiny_scenario: bool = False
+    #: /24s probed exhaustively to train the confidence table.
+    confidence_sample_slash24s: int = 32
+    confidence_samples_per_block: int = 48
+    #: /24s (ground-truth homogeneous) in the full-path dataset.
+    path_dataset_slash24s: int = 40
+    path_dataset_max_addresses: int = 32
+    #: Cap on destinations per /24 during the campaign.
+    campaign_max_destinations: int = 64
+    reprobe_max_pairs: int = 48
+    cellular_slash24_sample: int = 12
+    cellular_max_addresses: int = 6
+    sampling_repetitions: int = 25
+
+
+PROFILES: Dict[str, Profile] = {
+    "tiny": Profile(
+        name="tiny",
+        use_tiny_scenario=True,
+        confidence_sample_slash24s=16,
+        confidence_samples_per_block=24,
+        path_dataset_slash24s=16,
+        path_dataset_max_addresses=20,
+        campaign_max_destinations=48,
+        reprobe_max_pairs=24,
+        cellular_slash24_sample=6,
+        cellular_max_addresses=4,
+        sampling_repetitions=10,
+    ),
+    "small": Profile(
+        name="small", scenario_scale=0.07,
+        confidence_sample_slash24s=64,
+        path_dataset_slash24s=72,
+    ),
+    "medium": Profile(
+        name="medium",
+        scenario_scale=0.18,
+        confidence_sample_slash24s=48,
+        path_dataset_slash24s=64,
+    ),
+    "paper": Profile(
+        name="paper",
+        scenario_scale=0.35,
+        confidence_sample_slash24s=64,
+        confidence_samples_per_block=64,
+        path_dataset_slash24s=96,
+        cellular_slash24_sample=24,
+    ),
+}
+
+DEFAULT_PROFILE_ENV = "REPRO_PROFILE"
+
+
+def active_profile_name() -> str:
+    return os.environ.get(DEFAULT_PROFILE_ENV, "small")
+
+
+class Workspace:
+    """Lazily-built shared artifacts for one profile."""
+
+    def __init__(self, profile: Profile) -> None:
+        self.profile = profile
+        self._internet: Optional[SimulatedInternet] = None
+        self._snapshot: Optional[ActivitySnapshot] = None
+        self._confidence_dataset: Optional[
+            Dict[Prefix, Dict[int, FrozenSet[int]]]
+        ] = None
+        self._confidence_table: Optional[ConfidenceTable] = None
+        self._campaign: Optional[CampaignResult] = None
+        self._aggregation: Optional[AggregationOutcome] = None
+        self._path_dataset: Optional[
+            Dict[Prefix, Dict[int, FrozenSet[Route]]]
+        ] = None
+        self._strict_het: Optional[Dict[Prefix, SubBlockAnalysis]] = None
+
+    # -- scenario ---------------------------------------------------------
+
+    def scenario_config(self) -> ScenarioConfig:
+        if self.profile.use_tiny_scenario:
+            return tiny_scenario(seed=self.profile.scenario_seed)
+        return paper_scenario(
+            scale=self.profile.scenario_scale,
+            seed=self.profile.scenario_seed,
+        )
+
+    @property
+    def internet(self) -> SimulatedInternet:
+        if self._internet is None:
+            self._internet = SimulatedInternet.from_config(
+                self.scenario_config()
+            )
+        return self._internet
+
+    @property
+    def snapshot(self) -> ActivitySnapshot:
+        if self._snapshot is None:
+            self._snapshot = scan(self.internet)
+        return self._snapshot
+
+    def eligible_slash24s(self) -> List[Prefix]:
+        return self.snapshot.eligible_slash24s()
+
+    def ensure_built(self) -> None:
+        """Build the shared artifacts in a canonical order.
+
+        The simulated Internet is stateful (virtual clock, rate-limiter
+        buckets), so artifact contents depend on *when* they are
+        measured. Building everything up front — snapshot, confidence
+        table, campaign, aggregation, path dataset — before any
+        experiment's ad-hoc probing makes results independent of which
+        experiment runs first.
+        """
+        self.snapshot
+        self.confidence_table
+        self.campaign
+        self.aggregation
+        self.path_dataset
+        self.strict_het_analyses
+
+    # -- exhaustive training data (Sections 3.1-3.2) ------------------------
+
+    @property
+    def confidence_dataset(self) -> Dict[Prefix, Dict[int, FrozenSet[int]]]:
+        """Exhaustive per-address last-hop observations over a sample of
+        ground-truth homogeneous /24s."""
+        if self._confidence_dataset is None:
+            rng = random.Random(self.internet.config.seed ^ 0xC0FFEE)
+            truth = self.internet.ground_truth
+            candidates = [
+                p for p in self.eligible_slash24s() if truth.is_homogeneous(p)
+            ]
+            # Stride the candidate list so the training sample spans
+            # organizations (and hence cardinalities) rather than
+            # whatever /8 happens to sort first.
+            budget = self.profile.confidence_sample_slash24s
+            stride = max(1, len(candidates) // max(budget, 1))
+            sample = candidates[::stride][:budget]
+            prober = Prober(self.internet)
+            dataset: Dict[Prefix, Dict[int, FrozenSet[int]]] = {}
+            policy = ExhaustivePolicy()
+            for slash24 in sample:
+                measurement = measure_slash24(
+                    prober, slash24, self.snapshot.active_in(slash24),
+                    policy, rng,
+                )
+                if len(measurement.observations) >= 4:
+                    dataset[slash24] = dict(measurement.observations)
+            self._confidence_dataset = dataset
+        return self._confidence_dataset
+
+    @property
+    def confidence_table(self) -> ConfidenceTable:
+        if self._confidence_table is None:
+            self._confidence_table = ConfidenceTable.build(
+                self.confidence_dataset,
+                seed=self.internet.config.seed ^ 0xF1D0,
+                samples_per_block=self.profile.confidence_samples_per_block,
+                min_trials=40,
+            )
+        return self._confidence_table
+
+    # -- the measurement campaign (Section 4) --------------------------------
+
+    @property
+    def campaign(self) -> CampaignResult:
+        if self._campaign is None:
+            policy = TerminationPolicy(
+                confidence_table=self.confidence_table
+            )
+            self._campaign = run_campaign(
+                self.internet,
+                policy,
+                snapshot=self.snapshot,
+                seed=self.internet.config.seed ^ 0xCA11,
+                max_destinations_per_slash24=(
+                    self.profile.campaign_max_destinations
+                ),
+            )
+        return self._campaign
+
+    # -- aggregation (Sections 5-6) ------------------------------------------
+
+    @property
+    def aggregation(self) -> AggregationOutcome:
+        if self._aggregation is None:
+            self._aggregation = run_aggregation(
+                self.campaign.lasthop_sets(),
+                internet=self.internet,
+                snapshot=self.snapshot,
+                max_pairs_per_cluster=self.profile.reprobe_max_pairs,
+                seed=self.internet.config.seed ^ 0xA66,
+            )
+        return self._aggregation
+
+    # -- full-path traceroute dataset (Sections 3.1, 7.1) ---------------------
+
+    @property
+    def path_dataset(self) -> Dict[Prefix, Dict[int, FrozenSet[Route]]]:
+        """/24 → destination → set of routes, over a sample of
+        ground-truth homogeneous /24s, tracing every sampled active
+        address with MDA."""
+        if self._path_dataset is None:
+            truth = self.internet.ground_truth
+            eligible = set(self.eligible_slash24s())
+            candidates = [p for p in eligible if truth.is_homogeneous(p)]
+            budget = self.profile.path_dataset_slash24s
+            # Include whole multi-/24 blocks (the paper's dataset covers
+            # complete homogeneous blocks — that is what makes per-block
+            # destination selection pay off in Figure 11) ...
+            sample: list = []
+            chosen: set = set()
+            blocks = sorted(
+                truth.true_blocks(), key=lambda b: -b.size
+            )
+            for block in blocks:
+                if len(sample) >= budget // 2:
+                    break
+                if block.size < 3:
+                    break
+                members = [p for p in block.slash24s if p in eligible][:12]
+                if len(members) >= 3:
+                    sample.extend(members)
+                    chosen.update(members)
+            # ... then fill with /24s spread across the universe.
+            remainder = [p for p in candidates if p not in chosen]
+            stride = max(1, len(remainder) // max(budget - len(sample), 1))
+            sample.extend(remainder[::stride][: budget - len(sample)])
+            prober = Prober(self.internet)
+            dataset: Dict[Prefix, Dict[int, FrozenSet[Route]]] = {}
+            for slash24 in sample:
+                actives = self.snapshot.active_in(slash24)
+                actives = actives[: self.profile.path_dataset_max_addresses]
+                per_dst: Dict[int, FrozenSet[Route]] = {}
+                for dst in actives:
+                    mp = enumerate_paths(prober, dst, flow_seed=dst & 0xFFFF)
+                    if mp.reached and mp.routes:
+                        per_dst[dst] = frozenset(mp.routes)
+                if len(per_dst) >= 4:
+                    dataset[slash24] = per_dst
+            self._path_dataset = dataset
+        return self._path_dataset
+
+    # -- strict heterogeneity (Section 4.2) -----------------------------------
+
+    @property
+    def strict_het_analyses(self) -> Dict[Prefix, SubBlockAnalysis]:
+        """Section 4.2 analyses of the "different but hierarchical"
+        /24s, re-probed exhaustively first (the strict criteria need
+        full sub-block evidence, not the early-terminated campaign
+        observations)."""
+        if self._strict_het is None:
+            import random as _random
+
+            from ..core.classifier import Category
+
+            prober = Prober(self.internet)
+            rng = _random.Random(self.internet.config.seed ^ 0x5E7)
+            analyses: Dict[Prefix, SubBlockAnalysis] = {}
+            for measurement in self.campaign.by_category(
+                Category.HIERARCHICAL
+            ):
+                slash24 = measurement.slash24
+                full = measure_slash24(
+                    prober, slash24, self.snapshot.active_in(slash24),
+                    ExhaustivePolicy(), rng,
+                    max_destinations=self.profile.campaign_max_destinations,
+                )
+                observations = (
+                    full.observations or measurement.observations
+                )
+                analyses[slash24] = analyze_sub_blocks(observations)
+            self._strict_het = analyses
+        return self._strict_het
+
+    def strictly_heterogeneous_slash24s(self) -> List[Prefix]:
+        return sorted(
+            slash24
+            for slash24, analysis in self.strict_het_analyses.items()
+            if analysis.strictly_heterogeneous
+        )
+
+
+_WORKSPACES: Dict[str, Workspace] = {}
+
+
+def get_workspace(profile_name: Optional[str] = None) -> Workspace:
+    """The shared workspace for a profile (built once per process)."""
+    name = profile_name or active_profile_name()
+    if name not in PROFILES:
+        raise KeyError(
+            f"unknown profile {name!r}; choose from {sorted(PROFILES)}"
+        )
+    if name not in _WORKSPACES:
+        _WORKSPACES[name] = Workspace(PROFILES[name])
+    return _WORKSPACES[name]
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform output of every experiment runner."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: str = ""
+
+    def render(self) -> str:
+        text = render_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += f"\n\n{self.notes}"
+        return text

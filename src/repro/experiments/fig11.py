@@ -1,0 +1,82 @@
+"""Figure 11: topology-discovery efficiency, Hobbit blocks vs /24s.
+
+Using the full-path dataset over homogeneous /24s, select destinations
+round-robin from (1) each /24 and (2) each Hobbit block, and compare the
+fraction of all distinct IP links discovered as a function of the
+average number of selected destinations per /24 (averaged over several
+selection orders). Selecting from Hobbit blocks discovers links faster
+at every budget.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List
+
+from ..analysis.topo_discovery import (
+    average_discovery_ratios,
+    groups_from_blocks,
+    groups_from_slash24s,
+)
+from ..net.prefix import Prefix
+from .common import ExperimentResult, Workspace
+
+X_POINTS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+TRIALS = 15
+
+
+def run(workspace: Workspace) -> ExperimentResult:
+    dataset: Dict[int, FrozenSet] = {}
+    for per_dst in workspace.path_dataset.values():
+        dataset.update(per_dst)
+    slash24_count = len(workspace.path_dataset)
+    if not dataset or slash24_count == 0:
+        raise RuntimeError("path dataset is empty")
+
+    # Hobbit blocks restricted to the dataset's /24s; /24s the
+    # aggregation produced no block for stand alone.
+    dataset_slash24s = set(workspace.path_dataset)
+    blocks: List[List[Prefix]] = []
+    covered: set = set()
+    for block in workspace.aggregation.final_blocks:
+        members = [p for p in block.slash24s if p in dataset_slash24s]
+        if members:
+            blocks.append(members)
+            covered.update(members)
+    for slash24 in dataset_slash24s - covered:
+        blocks.append([slash24])
+
+    rng = random.Random(workspace.internet.config.seed ^ 0x711)
+    block_ratios = average_discovery_ratios(
+        dataset, groups_from_blocks(dataset, blocks), slash24_count,
+        X_POINTS, rng, trials=TRIALS, strategy="Hobbit",
+    )
+    slash24_ratios = average_discovery_ratios(
+        dataset, groups_from_slash24s(dataset), slash24_count,
+        X_POINTS, rng, trials=TRIALS, strategy="/24",
+    )
+
+    rows = []
+    hobbit_wins = 0
+    comparisons = 0
+    for x, ratio_block, ratio_24 in zip(
+        X_POINTS, block_ratios, slash24_ratios
+    ):
+        if ratio_24 or ratio_block:
+            comparisons += 1
+            if ratio_block >= ratio_24 - 0.01:
+                hobbit_wins += 1
+        rows.append([x, f"{ratio_block:.3f}", f"{ratio_24:.3f}"])
+    return ExperimentResult(
+        experiment_id="fig11",
+        title=(
+            "Figure 11: discovered-links ratio vs selection budget "
+            f"(mean of {TRIALS} selection orders)"
+        ),
+        headers=["avg selected per /24", "Hobbit blocks", "per /24"],
+        rows=rows,
+        notes=(
+            f"Hobbit-block selection matches or beats per-/24 selection "
+            f"at {hobbit_wins}/{comparisons} budgets (paper: always)"
+        ),
+    )

@@ -1,0 +1,71 @@
+"""Figure 12: stratified vs simple random sampling.
+
+Within the Time-Warner-like ISP (public rDNS naming grammar), compare
+the mean number of distinct rDNS patterns captured by a stratified
+sample (one address per Hobbit block) against simple random samples of
+1x-4x the size, over repeated draws. The paper: a same-size random
+sample captures 2.5x fewer patterns; even 4x barely catches up; the
+stratified sample covers 73% of all patterns.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.sampling import compare_sampling
+from .common import ExperimentResult, Workspace
+
+PREFERRED_ORGANIZATION = "Time Warner Cable"
+
+
+def _target_organization(workspace: Workspace) -> str:
+    """The paper's target if present, else the org with most blocks."""
+    internet = workspace.internet
+    counts: dict = {}
+    for block in workspace.aggregation.final_blocks:
+        record = internet.geodb.lookup(block.slash24s[0].network)
+        if record is not None:
+            counts[record.organization] = counts.get(record.organization, 0) + 1
+    if PREFERRED_ORGANIZATION in counts:
+        return PREFERRED_ORGANIZATION
+    if not counts:
+        raise RuntimeError("aggregation produced no attributable blocks")
+    return max(counts, key=lambda org: counts[org])
+
+
+def run(workspace: Workspace) -> ExperimentResult:
+    internet = workspace.internet
+    aggregation = workspace.aggregation
+    target = _target_organization(workspace)
+    blocks = [
+        block
+        for block in aggregation.final_blocks
+        if (record := internet.geodb.lookup(block.slash24s[0].network))
+        and record.organization == target
+    ]
+    comparison = compare_sampling(
+        internet,
+        blocks,
+        workspace.snapshot,
+        repetitions=workspace.profile.sampling_repetitions,
+        seed=internet.config.seed ^ 0xF16,
+    )
+    rows: List[List[object]] = []
+    for label, normalized in comparison.normalized_rows():
+        rows.append([label, f"{normalized:.2f}"])
+    return ExperimentResult(
+        experiment_id="fig12",
+        title=(
+            "Figure 12: distinct rDNS patterns per sampling method "
+            f"({len(blocks)} {target} blocks, "
+            f"{comparison.repetitions} repetitions)"
+        ),
+        headers=["method", "normalized patterns"],
+        rows=rows,
+        notes=(
+            "stratified sample covers "
+            f"{comparison.stratified_population_coverage * 100:.0f}% of "
+            f"the population's {comparison.population_patterns} patterns "
+            "(paper: 73%); paper's random-1x captured 1/2.5 of stratified"
+        ),
+    )

@@ -1,0 +1,44 @@
+"""Figure 5: size distribution of identical-set aggregated blocks.
+
+The paper reduces 1.77M homogeneous /24s to 0.53M blocks; ~0.39M stay
+size 1, 21,513 blocks have ≥16 /24s and 2,430 have ≥64.
+"""
+
+from __future__ import annotations
+
+from ..aggregation.identical import size_log2_histogram
+from ..util.tables import format_percent
+from .common import ExperimentResult, Workspace
+
+
+def run(workspace: Workspace) -> ExperimentResult:
+    aggregation = workspace.aggregation
+    blocks = aggregation.identical_blocks
+    histogram = size_log2_histogram(blocks)
+    total_slash24s = sum(block.size for block in blocks)
+    rows = []
+    for bucket in sorted(histogram):
+        low = 1 << bucket
+        high = (1 << (bucket + 1)) - 1
+        rows.append(
+            [
+                f"{low}..{high}" if low != high else str(low),
+                histogram[bucket],
+            ]
+        )
+    size_one = sum(1 for block in blocks if block.size == 1)
+    ge16 = sum(1 for block in blocks if block.size >= 16)
+    ge64 = sum(1 for block in blocks if block.size >= 64)
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Figure 5: aggregated homogeneous block sizes (in /24s)",
+        headers=["size bucket", "# blocks"],
+        rows=rows,
+        notes=(
+            f"{total_slash24s} homogeneous /24s aggregate into "
+            f"{len(blocks)} blocks "
+            f"({format_percent(len(blocks), total_slash24s)} of the /24 "
+            f"count); size-1 blocks: {size_one}; blocks ≥16 /24s: {ge16}; "
+            f"≥64 /24s: {ge64} (paper: 1.77M → 0.53M, 21.5k, 2.4k)"
+        ),
+    )

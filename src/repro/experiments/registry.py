@@ -1,0 +1,78 @@
+"""Registry of all experiment runners, keyed by experiment id."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from . import (
+    ablation_mcl,
+    ablation_termination,
+    ablation_vantage,
+    dhcp,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    lasthop_vs_path,
+    longitudinal,
+    prelim,
+    rdns_cellular,
+    sensitivity,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from .common import ExperimentResult, Workspace
+
+Runner = Callable[[Workspace], ExperimentResult]
+
+EXPERIMENTS: Dict[str, Runner] = {
+    "prelim": prelim.run,
+    "lasthop-vs-path": lasthop_vs_path.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "fig5": fig5.run,
+    "table5": table5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "rdns-cellular": rdns_cellular.run,
+    "longitudinal": longitudinal.run,
+    "dhcp-search": dhcp.run,
+    "ablation-termination": ablation_termination.run,
+    "ablation-mcl": ablation_mcl.run,
+    "ablation-vantage": ablation_vantage.run,
+    "sensitivity": sensitivity.run,
+}
+
+
+def experiment_ids() -> List[str]:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, workspace: Workspace) -> ExperimentResult:
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(EXPERIMENTS)}"
+        ) from None
+    workspace.ensure_built()
+    return runner(workspace)

@@ -1,0 +1,40 @@
+"""Table 5: the largest homogeneous blocks and who owns them.
+
+In the paper, 7 of the top 15 belong to hosting companies; the rest are
+broadband ISPs whose large pools are mostly cellular ingress blocks.
+"""
+
+from __future__ import annotations
+
+from ..analysis.reports import hosting_block_count, top_block_report
+from .common import ExperimentResult, Workspace
+
+
+def run(workspace: Workspace) -> ExperimentResult:
+    aggregation = workspace.aggregation
+    report = top_block_report(
+        aggregation.final_blocks, workspace.internet.geodb, count=15
+    )
+    rows = [
+        [
+            row.rank,
+            row.cluster_size,
+            f"AS{row.asn}" if row.asn is not None else "?",
+            row.organization,
+            row.country,
+            row.org_type,
+        ]
+        for row in report
+    ]
+    hosting = hosting_block_count(report)
+    return ExperimentResult(
+        experiment_id="table5",
+        title="Table 5: largest homogeneous blocks",
+        headers=["rank", "size (/24s)", "ASN", "organization", "country", "type"],
+        rows=rows,
+        notes=(
+            f"{hosting} of the top {len(report)} blocks belong to hosting "
+            "companies (paper: 7 of 15); the rest are broadband/cellular "
+            "pools"
+        ),
+    )

@@ -1,0 +1,69 @@
+"""Address-level primitives: addresses, prefixes, tries and block sets."""
+
+from .addr import (
+    ADDRESS_BITS,
+    ADDRESS_SPACE_SIZE,
+    MAX_ADDRESS,
+    AddressError,
+    common_prefix_length,
+    format_address,
+    from_octets,
+    hostmask,
+    netmask,
+    network_of,
+    octets,
+    parse,
+    slash24_of,
+    slash26_of,
+    slash31_of,
+)
+from .blockset import (
+    BlockSet,
+    adjacency_lcp_lengths,
+    contiguous_runs,
+    extremes_lcp_length,
+    normalize,
+    visualization_coordinates,
+)
+from .prefix import (
+    AddressRange,
+    Prefix,
+    enclosing_prefix,
+    lcp_length_between_slash24s,
+    longest_common_prefix,
+    to_prefixes,
+)
+from .trie import PrefixTrie
+from . import v6
+
+__all__ = [
+    "ADDRESS_BITS",
+    "ADDRESS_SPACE_SIZE",
+    "MAX_ADDRESS",
+    "AddressError",
+    "AddressRange",
+    "BlockSet",
+    "Prefix",
+    "PrefixTrie",
+    "adjacency_lcp_lengths",
+    "common_prefix_length",
+    "contiguous_runs",
+    "enclosing_prefix",
+    "extremes_lcp_length",
+    "format_address",
+    "from_octets",
+    "hostmask",
+    "lcp_length_between_slash24s",
+    "longest_common_prefix",
+    "netmask",
+    "network_of",
+    "normalize",
+    "octets",
+    "parse",
+    "slash24_of",
+    "slash26_of",
+    "slash31_of",
+    "to_prefixes",
+    "v6",
+    "visualization_coordinates",
+]

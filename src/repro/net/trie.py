@@ -1,0 +1,171 @@
+"""Binary radix trie over IPv4 prefixes.
+
+Routers in the simulator resolve next hops with longest-prefix match
+(:meth:`PrefixTrie.lookup`); the allocation generator uses
+:meth:`PrefixTrie.subtree` and :meth:`PrefixTrie.covers` to keep
+allocations hierarchical.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .addr import ADDRESS_BITS, check_address
+from .prefix import Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Map from :class:`Prefix` to values with longest-prefix-match lookup.
+
+    >>> trie = PrefixTrie()
+    >>> trie.insert(Prefix.parse("10.0.0.0/8"), "coarse")
+    >>> trie.insert(Prefix.parse("10.1.0.0/16"), "fine")
+    >>> trie.lookup(Prefix.parse("10.1.2.3").network)
+    (Prefix(network=167837696, length=16), 'fine')
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.get(prefix) is not _MISSING
+
+    # -- mutation -------------------------------------------------------
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value for an exact prefix."""
+        node = self._root
+        for bit in _bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove an exact prefix; return True if it was present."""
+        path: List[Tuple[_Node[V], int]] = []
+        node = self._root
+        for bit in _bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                return False
+            path.append((node, bit))
+            node = child
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+        # Prune now-empty branches.
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            if child is None:
+                break
+            if child.has_value or any(child.children):
+                break
+            parent.children[bit] = None
+        return True
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, prefix: Prefix, default=None):
+        """Value stored at an exact prefix, else ``default``."""
+        node = self._root
+        for bit in _bits(prefix):
+            node = node.children[bit]  # type: ignore[assignment]
+            if node is None:
+                return default
+        return node.value if node.has_value else default
+
+    def lookup(self, addr: int) -> Optional[Tuple[Prefix, V]]:
+        """Longest-prefix match for an address; None if nothing covers it."""
+        check_address(addr)
+        node = self._root
+        best: Optional[Tuple[Prefix, V]] = None
+        depth = 0
+        if node.has_value:
+            best = (Prefix(0, 0), node.value)  # type: ignore[arg-type]
+        while depth < ADDRESS_BITS:
+            bit = (addr >> (ADDRESS_BITS - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            depth += 1
+            if node.has_value:
+                best = (Prefix.of(addr, depth), node.value)
+        return best
+
+    def covers(self, addr: int) -> bool:
+        """True if some stored prefix contains the address."""
+        return self.lookup(addr) is not None
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """All (prefix, value) pairs in network order."""
+        yield from self._walk(self._root, 0, 0)
+
+    def subtree(self, prefix: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """All stored (prefix, value) pairs at or below ``prefix``."""
+        node = self._root
+        for bit in _bits(prefix):
+            node = node.children[bit]  # type: ignore[assignment]
+            if node is None:
+                return
+        yield from self._walk(node, prefix.network, prefix.length)
+
+    def has_descendant(self, prefix: Prefix) -> bool:
+        """True if any stored prefix is at or below ``prefix``."""
+        for _ in self.subtree(prefix):
+            return True
+        return False
+
+    def ancestors(self, prefix: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """Stored prefixes strictly containing ``prefix``, shortest first."""
+        node = self._root
+        depth = 0
+        if node.has_value and prefix.length > 0:
+            yield Prefix(0, 0), node.value  # type: ignore[misc]
+        for bit in _bits(prefix):
+            node = node.children[bit]  # type: ignore[assignment]
+            if node is None:
+                return
+            depth += 1
+            if node.has_value and depth < prefix.length:
+                yield Prefix.of(prefix.network, depth), node.value
+
+    def _walk(
+        self, node: _Node[V], network: int, depth: int
+    ) -> Iterator[Tuple[Prefix, V]]:
+        if node.has_value:
+            yield Prefix(network, depth), node.value  # type: ignore[misc]
+        for bit in (0, 1):
+            child = node.children[bit]
+            if child is not None:
+                child_net = network | (bit << (ADDRESS_BITS - 1 - depth))
+                yield from self._walk(child, child_net, depth + 1)
+
+
+def _bits(prefix: Prefix) -> Iterator[int]:
+    """Most-significant-first bits of a prefix's network portion."""
+    for depth in range(prefix.length):
+        yield (prefix.network >> (ADDRESS_BITS - 1 - depth)) & 1

@@ -1,0 +1,255 @@
+"""IPv6 groundwork for Hobbit (the paper's first stated future work:
+"we intend to apply Hobbit to IPv6 networks").
+
+Hobbit's decision core — grouping addresses by last-hop router and
+testing whether the groups' numeric ranges are hierarchical — is
+address-family agnostic: it only needs addresses as ordered integers.
+This module supplies the IPv6 side of that contract: 128-bit address
+parsing/formatting (RFC 4291 text forms, RFC 5952 canonical output),
+prefixes, ranges, and grouping helpers that plug directly into
+:mod:`repro.core.hierarchy` (whose algorithms are duck-typed over
+``first``/``last`` ranges).
+
+What is *not* here is an IPv6 simulator substrate; the measurement-unit
+question for IPv6 ("what is the /24 of v6?" — /64? /56? /48?) is open
+research the paper left for future work, and
+:func:`measurement_unit_of` exposes exactly that knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Mapping
+
+V6_BITS = 128
+MAX_V6 = (1 << V6_BITS) - 1
+
+#: The default measurement unit: a /64 is to IPv6 roughly what a /24 is
+#: to IPv4 — the smallest block operators commonly route and assign.
+DEFAULT_UNIT_PREFIX_LEN = 64
+
+
+class V6Error(ValueError):
+    """Raised on malformed IPv6 text or out-of-range values."""
+
+
+def parse_v6(text: str) -> int:
+    """Parse IPv6 text (full, ``::``-compressed, or v4-mapped tail).
+
+    >>> parse_v6("::1")
+    1
+    >>> hex(parse_v6("2001:db8::8:800:200c:417a"))
+    '0x20010db80000000000080800200c417a'
+    """
+    text = text.strip()
+    if not text:
+        raise V6Error("empty address")
+    if text.count("::") > 1:
+        raise V6Error(f"multiple '::' in {text!r}")
+    head, sep, tail = text.partition("::")
+    head_groups = _parse_groups(head) if head else []
+    tail_groups = _parse_groups(tail) if tail else []
+    if sep:
+        missing = 8 - len(head_groups) - len(tail_groups)
+        if missing < 1:
+            raise V6Error(f"'::' expands to nothing in {text!r}")
+        groups = head_groups + [0] * missing + tail_groups
+    else:
+        groups = head_groups
+    if len(groups) != 8:
+        raise V6Error(f"expected 8 groups in {text!r}")
+    value = 0
+    for group in groups:
+        value = (value << 16) | group
+    return value
+
+
+def _parse_groups(text: str) -> List[int]:
+    groups: List[int] = []
+    parts = text.split(":")
+    for index, part in enumerate(parts):
+        if "." in part:
+            # Embedded IPv4 tail (e.g. ::ffff:192.0.2.1) — must be last.
+            if index != len(parts) - 1:
+                raise V6Error(f"embedded IPv4 not in tail position: {text!r}")
+            from .addr import parse as parse_v4
+
+            v4 = parse_v4(part)
+            groups.append(v4 >> 16)
+            groups.append(v4 & 0xFFFF)
+            continue
+        if not part or len(part) > 4:
+            raise V6Error(f"bad group {part!r} in {text!r}")
+        try:
+            value = int(part, 16)
+        except ValueError:
+            raise V6Error(f"bad group {part!r} in {text!r}") from None
+        groups.append(value)
+    return groups
+
+
+def format_v6(value: int) -> str:
+    """Canonical RFC 5952 text: lowercase, longest zero run compressed.
+
+    >>> format_v6(1)
+    '::1'
+    >>> format_v6(0x20010db8000000000000000000000001)
+    '2001:db8::1'
+    """
+    check_v6(value)
+    groups = [(value >> (16 * (7 - i))) & 0xFFFF for i in range(8)]
+    # Longest run of >= 2 zero groups; leftmost wins ties.
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for index, group in enumerate(groups):
+        if group == 0:
+            if run_start < 0:
+                run_start, run_len = index, 0
+            run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_start, run_len = -1, 0
+    if best_len < 2:
+        return ":".join(f"{g:x}" for g in groups)
+    head = ":".join(f"{g:x}" for g in groups[:best_start])
+    tail = ":".join(f"{g:x}" for g in groups[best_start + best_len:])
+    return f"{head}::{tail}"
+
+
+def check_v6(value: int) -> int:
+    if not 0 <= value <= MAX_V6:
+        raise V6Error(f"value {value} outside the IPv6 space")
+    return value
+
+
+def common_prefix_length_v6(a: int, b: int) -> int:
+    """Longest common prefix length of two IPv6 addresses (0..128)."""
+    check_v6(a)
+    check_v6(b)
+    diff = a ^ b
+    if diff == 0:
+        return V6_BITS
+    return V6_BITS - diff.bit_length()
+
+
+@dataclass(frozen=True, order=True)
+class Prefix6:
+    """An IPv6 CIDR prefix."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= V6_BITS:
+            raise V6Error(f"prefix length {self.length} out of range")
+        check_v6(self.network)
+        if self.network & self.hostmask:
+            raise V6Error(f"{format_v6(self.network)}/{self.length} has "
+                          "interface bits set")
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix6":
+        addr_text, _, len_text = text.partition("/")
+        length = int(len_text) if len_text else V6_BITS
+        return cls(parse_v6(addr_text), length)
+
+    @classmethod
+    def of(cls, addr: int, length: int) -> "Prefix6":
+        mask = (MAX_V6 << (V6_BITS - length)) & MAX_V6 if length else 0
+        return cls(addr & mask, length)
+
+    @property
+    def hostmask(self) -> int:
+        return MAX_V6 >> self.length if self.length else MAX_V6
+
+    @property
+    def first(self) -> int:
+        return self.network
+
+    @property
+    def last(self) -> int:
+        return self.network | self.hostmask
+
+    def contains_address(self, addr: int) -> bool:
+        check_v6(addr)
+        return self.first <= addr <= self.last
+
+    def __str__(self) -> str:
+        return f"{format_v6(self.network)}/{self.length}"
+
+
+@dataclass(frozen=True, order=True)
+class Range6:
+    """A closed numeric range of IPv6 addresses.
+
+    Structurally compatible with :class:`repro.net.prefix.AddressRange`
+    — :mod:`repro.core.hierarchy`'s algorithms accept it unchanged.
+    """
+
+    first: int
+    last: int
+
+    def __post_init__(self) -> None:
+        check_v6(self.first)
+        check_v6(self.last)
+        if self.last < self.first:
+            raise V6Error("range end precedes start")
+
+    def contains(self, other: "Range6") -> bool:
+        return self.first <= other.first and other.last <= self.last
+
+    def disjoint(self, other: "Range6") -> bool:
+        return self.last < other.first or other.last < self.first
+
+    def hierarchical_with(self, other: "Range6") -> bool:
+        """Same relation as the IPv4 range (equal ranges are LB
+        evidence, hence non-hierarchical)."""
+        if self == other:
+            return False
+        return (
+            self.disjoint(other)
+            or self.contains(other)
+            or other.contains(self)
+        )
+
+    def __str__(self) -> str:
+        return f"[{format_v6(self.first)}, {format_v6(self.last)}]"
+
+
+def measurement_unit_of(
+    addr: int, unit_prefix_len: int = DEFAULT_UNIT_PREFIX_LEN
+) -> Prefix6:
+    """The measurement unit containing ``addr`` (default /64) — the
+    IPv6 analogue of "the /24 of an address"."""
+    return Prefix6.of(addr, unit_prefix_len)
+
+
+def group_ranges_v6(
+    groups: Mapping[Hashable, List[int]],
+) -> List[Range6]:
+    """IPv6 analogue of :func:`repro.core.grouping.group_ranges`."""
+    ranges = [
+        Range6(min(members), max(members))
+        for members in groups.values()
+        if members
+    ]
+    ranges.sort()
+    return ranges
+
+
+def v6_groups_hierarchical(
+    observations: Mapping[int, FrozenSet[int]],
+) -> bool:
+    """Hobbit's hierarchy verdict over IPv6 observations.
+
+    ``observations`` maps IPv6 destination → last-hop router ids, like
+    the IPv4 pipeline's; the hierarchy algorithm itself is reused.
+    """
+    from ..core.hierarchy import ranges_hierarchical
+
+    groups: Dict[int, List[int]] = {}
+    for addr, lasthops in observations.items():
+        for lasthop in lasthops:
+            groups.setdefault(lasthop, []).append(addr)
+    return ranges_hierarchical(group_ranges_v6(groups))

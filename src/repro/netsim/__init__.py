@@ -1,0 +1,68 @@
+"""Synthetic Internet simulator: topology, routing, load balancing,
+hosts, ICMP semantics and the registries (GeoLite/WHOIS/rDNS) the paper
+consults."""
+
+from .allocation import Allocation, AllocationMap, Pod, SPLIT_COMPOSITIONS
+from .build import BuiltScenario, build_scenario
+from .config import (
+    BigPodSpec,
+    DiamondSpec,
+    OrgSpec,
+    ScenarioConfig,
+    paper_scenario,
+    small_scenario,
+    tiny_scenario,
+)
+from .geodb import GeoDatabase, GeoRecord
+from .groundtruth import GroundTruth, TrueBlock
+from .icmp import (
+    IcmpReply,
+    RateLimiter,
+    ReplyKind,
+    infer_default_ttl,
+    infer_hop_count,
+)
+from .internet import SimulatedInternet
+from .orgs import Organization, OrgRegistry, OrgType
+from .routing import Fib, Forwarder, ForwardingError, RouteEntry
+from .topology import Router, RouterRole, Topology
+from .whois import WhoisRecord, WhoisService, render_krnic_response
+
+__all__ = [
+    "Allocation",
+    "AllocationMap",
+    "BigPodSpec",
+    "BuiltScenario",
+    "DiamondSpec",
+    "Fib",
+    "Forwarder",
+    "ForwardingError",
+    "GeoDatabase",
+    "GeoRecord",
+    "GroundTruth",
+    "IcmpReply",
+    "Organization",
+    "OrgRegistry",
+    "OrgSpec",
+    "OrgType",
+    "Pod",
+    "RateLimiter",
+    "ReplyKind",
+    "RouteEntry",
+    "Router",
+    "RouterRole",
+    "SPLIT_COMPOSITIONS",
+    "ScenarioConfig",
+    "SimulatedInternet",
+    "Topology",
+    "TrueBlock",
+    "WhoisRecord",
+    "WhoisService",
+    "build_scenario",
+    "infer_default_ttl",
+    "infer_hop_count",
+    "paper_scenario",
+    "render_krnic_response",
+    "small_scenario",
+    "tiny_scenario",
+]

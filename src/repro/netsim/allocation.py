@@ -1,0 +1,188 @@
+"""Address allocations and pods — the simulator's ground-truth units.
+
+A **pod** is a set of machines that are topologically co-located: one
+route-entry target, one metro attachment, one set of last-hop routers
+(several when the operator load-balances per destination across them).
+Every address in a pod is homogeneous with every other by construction,
+so pods are the ground truth that Hobbit's verdicts are scored against.
+
+An **allocation** is one CIDR prefix assigned to a pod. Pods usually own
+whole /24s (often many: a datacenter pod can own hundreds, possibly in
+several discontiguous runs); *split* /24s are the exception — a /24
+carved into sub-/24 allocations owned by different pods, which is what
+the paper's WHOIS digging (Table 4) found Korean ISPs doing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..net.prefix import Prefix
+from ..net.trie import PrefixTrie
+from .orgs import Organization
+
+#: Sub-block compositions of split /24s with the Table 2 distribution.
+#: Each entry: (tuple of sub-prefix lengths, probability).
+SPLIT_COMPOSITIONS: Sequence[Tuple[Tuple[int, ...], float]] = (
+    ((25, 25), 0.5048),
+    ((25, 26, 26), 0.2065),
+    ((26, 26, 26, 26), 0.1579),
+    ((25, 26, 27, 27), 0.0592),
+    ((26, 26, 26, 27, 27), 0.0463),
+    ((26, 26, 27, 27, 27, 27), 0.0113),
+    ((25, 26, 27, 28, 28), 0.0082),
+    ((25, 27, 27, 27, 27), 0.0058),
+)
+
+
+def composition_prefixes(
+    slash24: Prefix, lengths: Sequence[int]
+) -> List[Prefix]:
+    """Carve a /24 into consecutive sub-prefixes of the given lengths.
+
+    The lengths must tile the /24 exactly (all Table 2 compositions do).
+
+    >>> [str(p) for p in composition_prefixes(Prefix.parse("10.0.0.0/24"),
+    ...                                        (25, 26, 26))]
+    ['10.0.0.0/25', '10.0.0.128/26', '10.0.0.192/26']
+    """
+    if slash24.length != 24:
+        raise ValueError(f"{slash24} is not a /24")
+    total = sum(1 << (32 - length) for length in lengths)
+    if total != 256:
+        raise ValueError(f"lengths {lengths} do not tile a /24")
+    prefixes: List[Prefix] = []
+    cursor = slash24.network
+    for length in sorted(lengths):
+        prefixes.append(Prefix(cursor, length))
+        cursor += 1 << (32 - length)
+    return prefixes
+
+
+@dataclass
+class Pod:
+    """Ground-truth homogeneous unit. See module docstring."""
+
+    pod_id: int
+    org: Organization
+    metro_id: int
+    #: Router ids of the pod's last-hop routers (≥1; >1 means the metro
+    #: router balances per destination across them).
+    lasthop_router_ids: Tuple[int, ...]
+    #: Salt for the per-destination hash at the metro router.
+    lasthop_salt: int
+    host_density: float
+    host_stability: float
+    #: How the metro balances across the last-hop routers (when there
+    #: are several): "per-destination", "per-flow" or "hybrid".
+    lasthop_mode: str = "per-destination"
+    #: Whether the per-destination last-hop balancer also hashes the
+    #: source address (Section 6.1: some routers do; extra vantage
+    #: points then reveal extra last-hop routers).
+    lasthop_source_hash: bool = False
+    #: Per-epoch probability that one of this pod's /24s sleeps
+    #: (diurnal churn; near zero for datacenters).
+    sleep_probability: float = 0.22
+    cellular: bool = False
+    #: All last-hop routers silent to TTL-exceeded (Table 1's
+    #: "Unresponsive last-hop" category).
+    unresponsive_lasthop: bool = False
+    rdns_scheme: str = ""
+    rdns_pattern_id: int = 0
+    #: Cellular radio promotion delay bounds in seconds (cellular pods).
+    promotion_delay_range: Tuple[float, float] = (0.25, 2.5)
+    #: Secondary rDNS pattern covering the upper part of each /24
+    #: (some real blocks mix naming schemes — Section 7.3).
+    rdns_second_pattern_id: Optional[int] = None
+    allocations: List["Allocation"] = field(default_factory=list)
+
+    @property
+    def lasthop_count(self) -> int:
+        return len(self.lasthop_router_ids)
+
+    def slash24s(self) -> List[Prefix]:
+        """The whole /24s owned by this pod (sub-/24 allocations
+        excluded; coarser allocations expand into their /24s)."""
+        result: List[Prefix] = []
+        for allocation in self.allocations:
+            if allocation.prefix.length <= 24:
+                result.extend(allocation.prefix.slash24s())
+        return sorted(result)
+
+    def covers_whole_slash24s_only(self) -> bool:
+        return all(a.prefix.length == 24 for a in self.allocations)
+
+    def address_count(self) -> int:
+        return sum(a.prefix.size for a in self.allocations)
+
+
+@dataclass
+class Allocation:
+    """One prefix assigned to a pod, with its registry (WHOIS) metadata."""
+
+    prefix: Prefix
+    pod: Pod
+    customer_name: str
+    customer_address: str
+    zip_code: str
+    registration_date: str  # YYYYMMDD
+    network_type: str = "ALLOCATED"
+
+    def __str__(self) -> str:
+        return f"{self.prefix} -> pod {self.pod.pod_id} ({self.customer_name})"
+
+
+class AllocationMap:
+    """Fast address → allocation/pod resolution over the whole universe."""
+
+    def __init__(self) -> None:
+        self._trie: PrefixTrie[Allocation] = PrefixTrie()
+        self._allocations: List[Allocation] = []
+
+    def add(self, allocation: Allocation) -> None:
+        existing = self._trie.get(allocation.prefix)
+        if existing is not None:
+            raise ValueError(f"duplicate allocation for {allocation.prefix}")
+        self._trie.insert(allocation.prefix, allocation)
+        self._allocations.append(allocation)
+        allocation.pod.allocations.append(allocation)
+
+    def lookup(self, addr: int) -> Optional[Allocation]:
+        """Most-specific allocation covering an address."""
+        match = self._trie.lookup(addr)
+        return match[1] if match else None
+
+    def pod_of(self, addr: int) -> Optional[Pod]:
+        allocation = self.lookup(addr)
+        return allocation.pod if allocation else None
+
+    def allocations_within(self, prefix: Prefix) -> List[Allocation]:
+        """Allocations at or below a prefix (plus an enclosing one, if the
+        prefix is inside a coarser allocation)."""
+        found = [value for _, value in self._trie.subtree(prefix)]
+        if not found:
+            enclosing = self._trie.lookup(prefix.network)
+            if enclosing and enclosing[0].contains_prefix(prefix):
+                found = [enclosing[1]]
+        return found
+
+    def __iter__(self) -> Iterator[Allocation]:
+        return iter(self._allocations)
+
+    def __len__(self) -> int:
+        return len(self._allocations)
+
+    def slash24_pods(self, slash24: Prefix) -> List[Pod]:
+        """Distinct pods owning address space within a /24."""
+        pods: List[Pod] = []
+        seen: set = set()
+        for allocation in self.allocations_within(slash24):
+            if allocation.pod.pod_id not in seen:
+                seen.add(allocation.pod.pod_id)
+                pods.append(allocation.pod)
+        return pods
+
+    def is_ground_truth_homogeneous(self, slash24: Prefix) -> bool:
+        """True if all allocated space in the /24 belongs to one pod."""
+        return len(self.slash24_pods(slash24)) == 1

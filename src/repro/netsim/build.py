@@ -1,0 +1,865 @@
+"""Scenario builder: turns a :class:`ScenarioConfig` into routers, FIBs,
+pods and allocations.
+
+Layout strategy (per organization):
+
+* Address space is handed out in *spans* — contiguous runs of /24 slots
+  — by an allocator that rotates across /8 regions, so consecutive
+  spans land far apart numerically. Real organizations hold prefixes
+  scattered all over the IPv4 space, which is why the paper finds
+  homogeneous blocks whose extreme /24s share almost no prefix bits
+  (Figure 7b) while being locally contiguous (Figure 7a).
+* Each metro serves one or more spans. A pod's /24s are laid out as
+  contiguous *chunks*; chunks of different pods (and unallocated gap
+  slots) are interleaved within each span, and a large pod's chunks are
+  spread across the metro's spans — making big homogeneous blocks
+  unions of separated contiguous segments (Figure 8).
+* Route entries: vantage gateway → backbone pair → per-flow core
+  diamond → org border → (optional per-destination/per-flow metro
+  diamond) → metro router → last-hop router(s). The metro router holds
+  one route entry per pod chunk; pods with several last-hop routers get
+  a per-destination balancer there — the "route differences due to
+  load-balancing" side of Figure 1 — while split /24s appear as
+  distinct route entries — the "distinct route entries" side.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..net import addr as addrmod
+from ..net.prefix import Prefix, to_prefixes
+from ..util.randomness import SeedSpawner
+from .allocation import (
+    SPLIT_COMPOSITIONS,
+    Allocation,
+    AllocationMap,
+    Pod,
+    composition_prefixes,
+)
+from .config import BigPodSpec, OrgSpec, ScenarioConfig
+from .geodb import GeoDatabase
+from .icmp import RateLimiter
+from .loadbalance import (
+    HybridBalancer,
+    NextHopSelector,
+    PerDestinationBalancer,
+    PerFlowBalancer,
+    SingleNextHop,
+)
+from .orgs import Organization, OrgRegistry
+from .rdns import SCHEME_PATTERN_COUNTS
+from .routing import Fib, Forwarder, RouteEntry
+from .topology import Router, RouterRole, Topology
+
+#: /8 regions available to host allocations: 1.0.0.0 .. 99.255.255.255,
+#: strictly below the router interface space at 100.0.0.0.
+_FIRST_REGION = 0x01
+_LAST_REGION = 0x63
+_SLOTS_PER_REGION = 1 << 16  # /24 slots in a /8
+
+_DEFAULT = Prefix(0, 0)
+
+_KR_ADDRESSES = (
+    ("Cheongju-Si Cheongwon-Gu", "360172"),
+    ("Jincheon-Gun Jincheon-Eup", "365800"),
+    ("Jincheon-Gun Munbaek-Myeon", "365860"),
+    ("Seongnam-Si Bundang-Gu", "463400"),
+    ("Suwon-Si Yeongtong-Gu", "443270"),
+    ("Busan Haeundae-Gu", "612020"),
+)
+
+_GENERIC_ADDRESSES = (
+    "100 Main St", "42 Network Way", "7 Carrier Blvd", "19 Exchange Pl",
+    "230 Data Dr", "8 Peering Ln",
+)
+
+
+class _SpaceAllocator:
+    """Hands out spans of /24 slots, rotating across /8 regions so that
+    consecutive spans are numerically far apart."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._regions = list(range(_FIRST_REGION, _LAST_REGION + 1))
+        rng.shuffle(self._regions)
+        self._cursors: Dict[int, int] = {r: 0 for r in self._regions}
+        self._next = 0
+
+    def allocate(self, slots: int) -> int:
+        """Return the first address of a fresh span of ``slots`` /24s."""
+        if slots <= 0:
+            raise ValueError("span must contain at least one /24")
+        if slots > _SLOTS_PER_REGION:
+            raise OverflowError(f"span of {slots} /24s exceeds a /8 region")
+        for _ in range(len(self._regions)):
+            region = self._regions[self._next % len(self._regions)]
+            self._next += 1
+            cursor = self._cursors[region]
+            if cursor + slots <= _SLOTS_PER_REGION:
+                self._cursors[region] = cursor + slots
+                return (region << 24) | (cursor << 8)
+        raise OverflowError("host address universe exhausted")
+
+
+@dataclass
+class BuiltScenario:
+    """Everything the runtime needs, produced by :func:`build_scenario`."""
+
+    config: ScenarioConfig
+    topology: Topology
+    fibs: Dict[int, Fib]
+    forwarder: Forwarder
+    orgs: OrgRegistry
+    allocations: AllocationMap
+    geodb: GeoDatabase
+    pods: List[Pod]
+    universe_slash24s: List[Prefix]
+    vantage_address: int
+    host_seed: int
+    loss_seed: int
+    rtt_seed: int
+
+
+def build_scenario(config: ScenarioConfig) -> BuiltScenario:
+    return _Builder(config).build()
+
+
+@dataclass
+class _OrgUpstream:
+    """Per-org routing context shared by all its spans."""
+
+    border: Router
+    core_selector: NextHopSelector
+    core_subset: List[Router]
+
+
+class _Builder:
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.seeds = SeedSpawner(config.seed)
+        self.topology = Topology()
+        self.fibs: Dict[int, Fib] = {}
+        self.orgs = OrgRegistry()
+        self.allocations = AllocationMap()
+        self.geodb = GeoDatabase()
+        self.pods: List[Pod] = []
+        self.universe: List[Prefix] = []
+        self.space = _SpaceAllocator(self.seeds.random("space"))
+        self.customer_counter = 0
+        # Builder-internal plans keyed by pod id.
+        self._explicit_lasthop_k: Dict[int, int] = {}
+        self._explicit_lasthop_mode: Dict[int, str] = {}
+        self._split_planned: set = set()
+
+    # -- infrastructure helpers ----------------------------------------
+
+    def fib(self, router: Router) -> Fib:
+        return self.fibs.setdefault(router.router_id, Fib())
+
+    def _lasthop_rate_limiter(self) -> Optional[RateLimiter]:
+        if self.config.lasthop_rate_limit is None:
+            return None
+        capacity, rate = self.config.lasthop_rate_limit
+        return RateLimiter(capacity, rate)
+
+    def _infra_rate_limiter(self) -> Optional[RateLimiter]:
+        if self.config.infra_rate_limit is None:
+            return None
+        capacity, rate = self.config.infra_rate_limit
+        return RateLimiter(capacity, rate)
+
+    # -- top level -------------------------------------------------------
+
+    def build(self) -> BuiltScenario:
+        vantage_gw = self.topology.new_router(
+            RouterRole.VANTAGE_GATEWAY, latency_ms=0.3, label="vantage-gw"
+        )
+        bb1 = self.topology.new_router(
+            RouterRole.BACKBONE, latency_ms=1.2, label="backbone-1"
+        )
+        bb2 = self.topology.new_router(
+            RouterRole.BACKBONE, latency_ms=1.4, label="backbone-2"
+        )
+        self.fib(vantage_gw).install(
+            RouteEntry(_DEFAULT, SingleNextHop(bb1.router_id))
+        )
+        self.fib(bb1).install(RouteEntry(_DEFAULT, SingleNextHop(bb2.router_id)))
+        self.bb2 = bb2
+        self.core_pool = [
+            self.topology.new_router(
+                RouterRole.CORE, latency_ms=2.0 + 0.4 * i, label=f"core-{i}"
+            )
+            for i in range(self.config.core_pool_size)
+        ]
+        for org_spec in self.config.orgs:
+            self._build_org(org_spec)
+        forwarder = Forwarder(self.topology, self.fibs, vantage_gw)
+        return BuiltScenario(
+            config=self.config,
+            topology=self.topology,
+            fibs=self.fibs,
+            forwarder=forwarder,
+            orgs=self.orgs,
+            allocations=self.allocations,
+            geodb=self.geodb,
+            pods=self.pods,
+            universe_slash24s=sorted(self.universe),
+            vantage_address=addrmod.parse(self.config.vantage_address_text),
+            host_seed=self.seeds.seed("hosts"),
+            loss_seed=self.seeds.seed("loss"),
+            rtt_seed=self.seeds.seed("rtt"),
+        )
+
+    # -- per organization -------------------------------------------------
+
+    def _build_org(self, spec: OrgSpec) -> None:
+        org = self.orgs.add(
+            spec.asn, spec.name, spec.country, spec.city, spec.org_type
+        )
+        rng = self.seeds.random("org", spec.asn)
+
+        border = self.topology.new_router(
+            RouterRole.ORG_BORDER,
+            latency_ms=3.0 + rng.uniform(0.0, 25.0),
+            label=f"border-as{spec.asn}",
+        )
+        width = min(self.config.core_diamond_width, len(self.core_pool))
+        core_subset = rng.sample(self.core_pool, width)
+        salt = self.seeds.seed("core-diamond", spec.asn)
+        core_selector: NextHopSelector = (
+            PerFlowBalancer([r.router_id for r in core_subset], salt)
+            if width > 1
+            else SingleNextHop(core_subset[0].router_id)
+        )
+        upstream = _OrgUpstream(
+            border=border,
+            core_selector=core_selector,
+            core_subset=core_subset,
+        )
+        for metro_index, (num_24s, big_pod) in enumerate(
+            self._plan_metros(spec, rng)
+        ):
+            self._build_metro(
+                spec, org, upstream, metro_index, num_24s, big_pod, rng
+            )
+
+    def _plan_metros(
+        self, spec: OrgSpec, rng: random.Random
+    ) -> List[Tuple[int, Optional[BigPodSpec]]]:
+        """Plan (/24 budget, optional big pod) per metro. Big pods get
+        dedicated metros; the rest of the org's budget becomes ordinary
+        metros."""
+        metros: List[Tuple[int, Optional[BigPodSpec]]] = []
+        big_total = 0
+        for big_pod in spec.big_pods:
+            metros.append((big_pod.size_slash24s, big_pod))
+            big_total += big_pod.size_slash24s
+        remaining = max(0, spec.num_slash24s - big_total)
+        while remaining > 0:
+            metro_24s = min(remaining, spec.metro_size_slash24s)
+            metros.append((metro_24s, None))
+            remaining -= metro_24s
+        if not metros:
+            metros.append((max(spec.num_slash24s, 4), None))
+        return metros
+
+    # -- per metro --------------------------------------------------------
+
+    def _build_metro(
+        self,
+        spec: OrgSpec,
+        org: Organization,
+        upstream: _OrgUpstream,
+        metro_index: int,
+        num_24s: int,
+        big_pod: Optional[BigPodSpec],
+        rng: random.Random,
+    ) -> None:
+        metro_latency = 2.0 + rng.uniform(0.0, 20.0)
+        metro = self.topology.new_router(
+            RouterRole.METRO,
+            latency_ms=metro_latency,
+            rate_limiter=self._infra_rate_limiter(),
+            label=f"metro-as{spec.asn}-{metro_index}",
+        )
+        self.fib(metro)  # ensure a FIB exists even if the metro is empty
+        entry_selector = self._metro_diamond(
+            spec, metro, metro_latency, metro_index, rng
+        )
+
+        if big_pod is not None:
+            pod = self._make_big_pod(spec, org, metro_index, big_pod, rng)
+            pods_with_sizes: List[Tuple[Pod, int, int]] = [
+                (pod, big_pod.size_slash24s, big_pod.fragments)
+            ]
+            silent_needed = 0
+        else:
+            pods_with_sizes, silent_needed = self._make_small_pods(
+                spec, org, metro_index, num_24s, rng
+            )
+        self._assign_lasthops(
+            spec, metro, pods_with_sizes, silent_needed, metro_latency, rng
+        )
+
+        # One bin of pieces per span; a big pod's chunks are spread one
+        # per span, small pods are balance-packed across a few spans.
+        if big_pod is not None:
+            pod = pods_with_sizes[0][0]
+            bins = [
+                [(pod, chunk)]
+                for chunk in _split_into_chunks(
+                    big_pod.size_slash24s, big_pod.fragments, rng
+                )
+            ]
+        else:
+            bins = self._pack_small_pods(pods_with_sizes, rng)
+
+        for pieces in bins:
+            self._build_span(
+                spec, org, upstream, metro, entry_selector, pieces, rng
+            )
+
+    def _pack_small_pods(
+        self,
+        pods_with_sizes: Sequence[Tuple[Pod, int, int]],
+        rng: random.Random,
+    ) -> List[List[Tuple[Pod, int]]]:
+        """Fragment pods into chunks and balance them over 1-3 spans."""
+        pieces: List[Tuple[Pod, int]] = []
+        for pod, size, fragments in pods_with_sizes:
+            for chunk in _split_into_chunks(size, fragments, rng):
+                pieces.append((pod, chunk))
+        span_count = min(rng.randint(1, 3), max(len(pieces), 1))
+        bins: List[List[Tuple[Pod, int]]] = [[] for _ in range(span_count)]
+        loads = [0] * span_count
+        for piece in sorted(pieces, key=lambda p: -p[1]):
+            index = loads.index(min(loads))
+            bins[index].append(piece)
+            loads[index] += piece[1]
+        return [b for b in bins if b]
+
+    def _build_span(
+        self,
+        spec: OrgSpec,
+        org: Organization,
+        upstream: _OrgUpstream,
+        metro: Router,
+        entry_selector: NextHopSelector,
+        pieces: List[Tuple[Pod, int]],
+        rng: random.Random,
+    ) -> None:
+        """Allocate a span, interleave pieces with gaps, install routes."""
+        used = sum(size for _pod, size in pieces)
+        mixed: List[Tuple[Optional[Pod], int]] = list(pieces)
+        gap_slots = max(1, math.ceil(used * 0.2))
+        while gap_slots > 0:
+            gap = min(gap_slots, rng.randint(1, 4))
+            mixed.append((None, gap))
+            gap_slots -= gap
+        rng.shuffle(mixed)
+        total_slots = sum(size for _pod, size in mixed)
+        span_first = self.space.allocate(total_slots)
+        span_last = span_first + total_slots * 256 - 1
+
+        # Upstream routing and ownership records for the whole span.
+        for prefix in to_prefixes(span_first, span_last):
+            self.geodb.add_organization_prefix(prefix, org)
+            self.fib(self.bb2).install(
+                RouteEntry(prefix, upstream.core_selector)
+            )
+            for core in upstream.core_subset:
+                self.fib(core).install(
+                    RouteEntry(
+                        prefix, SingleNextHop(upstream.border.router_id)
+                    )
+                )
+            self.fib(upstream.border).install(
+                RouteEntry(prefix, entry_selector)
+            )
+
+        slot = 0
+        for pod, size in mixed:
+            first = span_first + slot * 256
+            last = span_first + (slot + size) * 256 - 1
+            slot += size
+            if pod is None:
+                continue
+            self._install_chunk(spec, org, metro, pod, first, last, rng)
+
+    def _metro_diamond(
+        self,
+        spec: OrgSpec,
+        metro: Router,
+        metro_latency: float,
+        metro_index: int,
+        rng: random.Random,
+    ) -> NextHopSelector:
+        """Build the balancing stage(s) between the org border and the
+        metro router; returns the selector the border installs.
+
+        With ``second_stage_probability`` a second diamond is chained
+        behind the first: two per-destination stages multiply the
+        per-destination path diversity (Section 3.1's cardinality
+        explosion), the way stacked load balancers do in real networks.
+        """
+        diamond = spec.diamond
+        target: NextHopSelector = SingleNextHop(metro.router_id)
+        stages = (
+            1
+            + (rng.random() < diamond.second_stage_probability)
+            + (rng.random() < diamond.third_stage_probability)
+        )
+        for stage in range(stages, 0, -1):
+            roll = rng.random()
+            if roll < diamond.perdest_probability:
+                kind = "per-destination"
+            elif roll < (
+                diamond.perdest_probability + diamond.perflow_probability
+            ):
+                kind = "per-flow"
+            else:
+                continue
+            width = rng.randint(diamond.min_width, diamond.max_width)
+            members = []
+            for i in range(width):
+                router = self.topology.new_router(
+                    RouterRole.DIAMOND,
+                    latency_ms=metro_latency * rng.uniform(0.8, 1.2),
+                    rate_limiter=self._infra_rate_limiter(),
+                    label=(
+                        f"diamond-as{spec.asn}-{metro_index}-s{stage}-{i}"
+                    ),
+                )
+                self.fib(router).install(RouteEntry(_DEFAULT, target))
+                members.append(router.router_id)
+            salt = self.seeds.seed(
+                "metro-diamond",
+                spec.asn * 100_000 + metro_index * 10 + stage,
+            )
+            if kind == "per-flow":
+                target = PerFlowBalancer(members, salt)
+            else:
+                include_source = (
+                    rng.random() < diamond.source_hash_probability
+                )
+                target = PerDestinationBalancer(
+                    members, salt, include_source
+                )
+        return target
+
+    # -- pods --------------------------------------------------------------
+
+    def _pod_sleep_probability(self, spec: OrgSpec) -> float:
+        if spec.block_sleep_probability is not None:
+            return spec.block_sleep_probability
+        if spec.org_type.is_hosting:
+            # Datacenters do not exhibit residential diurnal churn.
+            return 0.02
+        return self.config.block_sleep_probability
+
+    def _new_pod(
+        self,
+        spec: OrgSpec,
+        org: Organization,
+        metro_index: int,
+        *,
+        cellular: bool,
+        density: float,
+        stability: float,
+        unresponsive: bool,
+        rdns_scheme: str,
+        rdns_pattern_id: int,
+        second_pattern: Optional[int],
+    ) -> Pod:
+        pod = Pod(
+            pod_id=len(self.pods),
+            org=org,
+            metro_id=metro_index,
+            lasthop_router_ids=(),  # filled by _assign_lasthops
+            lasthop_salt=self.seeds.seed("pod-salt", len(self.pods)),
+            host_density=density,
+            host_stability=stability,
+            cellular=cellular,
+            unresponsive_lasthop=unresponsive,
+            rdns_scheme=rdns_scheme,
+            rdns_pattern_id=rdns_pattern_id,
+            rdns_second_pattern_id=second_pattern,
+            sleep_probability=self._pod_sleep_probability(spec),
+            promotion_delay_range=spec.promotion_delay_range,
+        )
+        self.pods.append(pod)
+        return pod
+
+    def _pattern_ids(
+        self, spec: OrgSpec, scheme: str, rng: random.Random,
+        pod_size: int = 1,
+    ) -> Tuple[int, Optional[int]]:
+        """Pick a pod's rDNS pattern(s), correlated with pod size.
+
+        Large pods (most of the address mass) share a few *head*
+        patterns; single-/24 pods draw uniformly, so the scheme's rare
+        patterns live in small sparse blocks. That correlation is what
+        makes stratified sampling from Hobbit blocks beat
+        address-weighted random sampling (Figure 12).
+        """
+        count = SCHEME_PATTERN_COUNTS.get(scheme, 1)
+        if count <= 0:
+            return 0, None
+        if pod_size >= 3:
+            primary = rng.randrange(min(4, count))
+        elif pod_size == 2:
+            primary = rng.randrange(min(10, count))
+        else:
+            primary = rng.randrange(count)
+        second: Optional[int] = None
+        if count > 1 and rng.random() < spec.dual_pattern_fraction:
+            second = (primary + 1 + rng.randrange(count - 1)) % count
+        return primary, second
+
+    def _make_big_pod(
+        self,
+        spec: OrgSpec,
+        org: Organization,
+        metro_index: int,
+        big: BigPodSpec,
+        rng: random.Random,
+    ) -> Pod:
+        scheme = big.rdns_scheme
+        if not scheme:
+            scheme = (
+                spec.cellular_rdns_scheme
+                if big.cellular and spec.cellular_rdns_scheme
+                else spec.rdns_scheme
+            )
+        pod = self._new_pod(
+            spec, org, metro_index,
+            cellular=big.cellular,
+            density=big.host_density,
+            stability=rng.uniform(*spec.host_stability_range),
+            unresponsive=False,
+            rdns_scheme=scheme,
+            rdns_pattern_id=big.rdns_pattern_id,
+            second_pattern=None,
+        )
+        self._explicit_lasthop_k[pod.pod_id] = big.lasthop_count
+        if big.lasthop_mode:
+            self._explicit_lasthop_mode[pod.pod_id] = big.lasthop_mode
+        return pod
+
+    def _make_small_pods(
+        self,
+        spec: OrgSpec,
+        org: Organization,
+        metro_index: int,
+        budget: int,
+        rng: random.Random,
+    ) -> Tuple[List[Tuple[Pod, int, int]], int]:
+        """Create the metro's small pods; returns ([(pod, size, fragments)],
+        count of pods needing silent last-hops)."""
+        pods_with_sizes: List[Tuple[Pod, int, int]] = []
+        silent_needed = 0
+        while budget > 0:
+            size = 1
+            while size < budget and rng.random() > spec.pod_size_geometric_p:
+                size += 1
+            size = min(size, budget)
+            budget -= size
+            unresponsive = rng.random() < spec.unresponsive_lasthop_fraction
+            if unresponsive:
+                silent_needed += 1
+            pattern, second = self._pattern_ids(
+                spec, spec.rdns_scheme, rng, pod_size=size
+            )
+            pod = self._new_pod(
+                spec, org, metro_index,
+                cellular=False,
+                density=rng.uniform(*spec.host_density_range),
+                stability=rng.uniform(*spec.host_stability_range),
+                unresponsive=unresponsive,
+                rdns_scheme=spec.rdns_scheme,
+                rdns_pattern_id=pattern,
+                second_pattern=second,
+            )
+            if (
+                size == 1
+                and not unresponsive
+                and rng.random() < spec.split24_fraction
+            ):
+                self._split_planned.add(pod.pod_id)
+            fragments = 1 if size <= 2 else (1 + (rng.random() < 0.3))
+            pods_with_sizes.append((pod, size, fragments))
+        return pods_with_sizes, silent_needed
+
+    def _assign_lasthops(
+        self,
+        spec: OrgSpec,
+        metro: Router,
+        pods_with_sizes: Sequence[Tuple[Pod, int, int]],
+        silent_needed: int,
+        metro_latency: float,
+        rng: random.Random,
+    ) -> None:
+        """Create the metro's last-hop pools and give each pod its set.
+
+        Responsive pods draw K routers from a shared pool (so pods
+        overlap in last-hop sets — the raw material for Section 6's
+        similarity clustering); unresponsive pods draw from a silent
+        pool.
+        """
+        n_pods = len(pods_with_sizes)
+        max_explicit = max(
+            (
+                self._explicit_lasthop_k.get(pod.pod_id, 0)
+                for pod, _s, _f in pods_with_sizes
+            ),
+            default=0,
+        )
+        pool_size = max(4, math.ceil(n_pods * 0.9), max_explicit)
+        pool = [
+            self.topology.new_router(
+                RouterRole.LAST_HOP,
+                latency_ms=metro_latency * rng.uniform(0.95, 1.25),
+                rate_limiter=self._lasthop_rate_limiter(),
+                label=f"lh-{metro.label}-{i}",
+            )
+            for i in range(pool_size)
+        ]
+        silent_pool = [
+            self.topology.new_router(
+                RouterRole.LAST_HOP,
+                responds=False,
+                latency_ms=metro_latency,
+                label=f"lh-silent-{metro.label}-{i}",
+            )
+            for i in range(max(silent_needed, 0) or 0)
+        ] or [None]
+        silent_index = 0
+        for pod, _size, _fragments in pods_with_sizes:
+            if pod.unresponsive_lasthop:
+                router = silent_pool[silent_index % len(silent_pool)]
+                silent_index += 1
+                assert router is not None
+                pod.lasthop_router_ids = (router.router_id,)
+                continue
+            explicit_k = self._explicit_lasthop_k.get(pod.pod_id)
+            if explicit_k is not None:
+                k = explicit_k
+            elif pod.pod_id in self._split_planned:
+                # Split /24s model single-router customer sub-blocks.
+                k = 1
+            elif rng.random() < spec.multi_lasthop_fraction:
+                k = _weighted_choice(spec.lasthop_k_weights, rng)
+            else:
+                k = 1
+            k = min(k, len(pool))
+            chosen = rng.sample(pool, k)
+            pod.lasthop_router_ids = tuple(
+                sorted(r.router_id for r in chosen)
+            )
+            if k > 1:
+                explicit_mode = self._explicit_lasthop_mode.get(pod.pod_id)
+                mode = explicit_mode or _weighted_choice_str(
+                    spec.lasthop_mode_weights, rng
+                )
+                if mode == "hybrid" and k == 2:
+                    # A hybrid pair degenerates to per-flow; keep the
+                    # per-destination character instead.
+                    mode = "per-destination"
+                pod.lasthop_mode = mode
+                if mode == "per-destination":
+                    pod.lasthop_source_hash = (
+                        rng.random() < spec.diamond.source_hash_probability
+                    )
+
+    # -- chunk installation ---------------------------------------------------
+
+    def _install_chunk(
+        self,
+        spec: OrgSpec,
+        org: Organization,
+        metro: Router,
+        pod: Pod,
+        first: int,
+        last: int,
+        rng: random.Random,
+    ) -> None:
+        slash24s = [
+            Prefix(network, 24) for network in range(first, last + 1, 256)
+        ]
+        # A single-/24 pod may instead be split into sub-allocations.
+        if pod.pod_id in self._split_planned:
+            self._install_split_slash24(spec, org, metro, pod, slash24s[0], rng)
+            return
+        for prefix in to_prefixes(first, last):
+            self._register_allocation(spec, org, pod, prefix, rng, split=False)
+            self._install_route(metro, pod, prefix)
+        self.universe.extend(slash24s)
+
+    def _install_split_slash24(
+        self,
+        spec: OrgSpec,
+        org: Organization,
+        metro: Router,
+        placeholder: Pod,
+        slash24: Prefix,
+        rng: random.Random,
+    ) -> None:
+        """Carve a /24 into sub-allocations owned by distinct pods.
+
+        ``placeholder`` (the pod originally planned for this slot)
+        becomes the owner of the first sub-block; the rest get fresh
+        pods, modelling distinct customers behind distinct route entries.
+        """
+        lengths = _weighted_choice_seq(SPLIT_COMPOSITIONS, rng)
+        sub_prefixes = composition_prefixes(slash24, lengths)
+        for index, sub_prefix in enumerate(sub_prefixes):
+            if index == 0 and not placeholder.allocations:
+                pod = placeholder
+            else:
+                pattern, second = self._pattern_ids(
+                    spec, spec.rdns_scheme, rng
+                )
+                pod = self._new_pod(
+                    spec, org, placeholder.metro_id,
+                    cellular=False,
+                    density=rng.uniform(*spec.host_density_range),
+                    stability=rng.uniform(*spec.host_stability_range),
+                    unresponsive=False,
+                    rdns_scheme=spec.rdns_scheme,
+                    rdns_pattern_id=pattern,
+                    second_pattern=second,
+                )
+                # Sub-block customers sit behind their own single
+                # last-hop router on the same metro.
+                router = self.topology.new_router(
+                    RouterRole.LAST_HOP,
+                    latency_ms=metro.latency_ms * rng.uniform(0.95, 1.2),
+                    rate_limiter=self._lasthop_rate_limiter(),
+                    label=f"lh-cust-{metro.label}-{pod.pod_id}",
+                )
+                pod.lasthop_router_ids = (router.router_id,)
+            self._register_allocation(
+                spec, org, pod, sub_prefix, rng, split=True
+            )
+            self._install_route(metro, pod, sub_prefix)
+        self.universe.append(slash24)
+
+    def _register_allocation(
+        self,
+        spec: OrgSpec,
+        org: Organization,
+        pod: Pod,
+        prefix: Prefix,
+        rng: random.Random,
+        split: bool,
+    ) -> None:
+        if split:
+            self.customer_counter += 1
+            if spec.registry == "krnic":
+                address, zip_code = _KR_ADDRESSES[
+                    self.customer_counter % len(_KR_ADDRESSES)
+                ]
+            else:
+                address = _GENERIC_ADDRESSES[
+                    self.customer_counter % len(_GENERIC_ADDRESSES)
+                ]
+                zip_code = f"{10000 + self.customer_counter % 90000}"
+            name = f"{org.name} Customer-{self.customer_counter}"
+            # The paper found split registrations to be recent (2015+),
+            # consistent with IPv4 depletion pressure.
+            year = 2015 + rng.randrange(2)
+            date = f"{year}{rng.randrange(1, 13):02d}{rng.randrange(1, 29):02d}"
+            network_type = "CUSTOMER"
+        else:
+            name = org.name
+            address = org.city
+            zip_code = "00000"
+            year = 2000 + rng.randrange(15)
+            date = f"{year}{rng.randrange(1, 13):02d}{rng.randrange(1, 29):02d}"
+            network_type = "ALLOCATED"
+        self.allocations.add(
+            Allocation(
+                prefix=prefix,
+                pod=pod,
+                customer_name=name,
+                customer_address=address,
+                zip_code=zip_code,
+                registration_date=date,
+                network_type=network_type,
+            )
+        )
+
+    def _install_route(self, metro: Router, pod: Pod, prefix: Prefix) -> None:
+        if pod.lasthop_count == 1:
+            selector: NextHopSelector = SingleNextHop(
+                pod.lasthop_router_ids[0]
+            )
+        elif pod.lasthop_mode == "per-flow":
+            selector = PerFlowBalancer(
+                pod.lasthop_router_ids, pod.lasthop_salt
+            )
+        elif pod.lasthop_mode == "hybrid":
+            selector = HybridBalancer(
+                pod.lasthop_router_ids, pod.lasthop_salt
+            )
+        else:
+            selector = PerDestinationBalancer(
+                pod.lasthop_router_ids,
+                pod.lasthop_salt,
+                include_source=pod.lasthop_source_hash,
+            )
+        self.fib(metro).install(RouteEntry(prefix, selector))
+        for router_id in pod.lasthop_router_ids:
+            router = self.topology.by_id(router_id)
+            self.fib(router).install(RouteEntry(prefix, delivers=True))
+
+
+def _split_into_chunks(
+    size: int, fragments: int, rng: random.Random
+) -> List[int]:
+    """Split ``size`` /24s into up to ``fragments`` chunk sizes."""
+    fragments = max(1, min(fragments, size))
+    if fragments == 1:
+        return [size]
+    cuts = sorted(rng.sample(range(1, size), fragments - 1))
+    bounds = [0] + cuts + [size]
+    return [b - a for a, b in zip(bounds, bounds[1:])]
+
+
+def _weighted_choice(
+    weights: Sequence[Tuple[int, float]], rng: random.Random
+) -> int:
+    roll = rng.random()
+    cumulative = 0.0
+    for value, weight in weights:
+        cumulative += weight
+        if roll < cumulative:
+            return value
+    return weights[-1][0]
+
+
+def _weighted_choice_str(
+    weights: Sequence[Tuple[str, float]], rng: random.Random
+) -> str:
+    roll = rng.random()
+    cumulative = 0.0
+    for value, weight in weights:
+        cumulative += weight
+        if roll < cumulative:
+            return value
+    return weights[-1][0]
+
+
+def _weighted_choice_seq(
+    weights: Sequence[Tuple[Tuple[int, ...], float]], rng: random.Random
+) -> Tuple[int, ...]:
+    roll = rng.random()
+    cumulative = 0.0
+    for value, weight in weights:
+        cumulative += weight
+        if roll < cumulative:
+            return value
+    return weights[-1][0]

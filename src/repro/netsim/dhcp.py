@@ -1,0 +1,98 @@
+"""DHCP renumbering: subscriber identities moving within a pod.
+
+The paper's introduction motivates a third use of homogeneous blocks:
+"homogeneous blocks can provide guidance in searching for new addresses
+of the hosts that changed their addresses by DHCP". To exercise that
+application we need hosts with *identities* that persist across address
+changes.
+
+Model: each pod's address space (its /24s × 256 offsets) is permuted
+once per *lease period* by a deterministic bijection — the /24 index
+rotates and the offset is XOR-masked, both keyed by the pod and the
+lease number. A subscriber therefore keeps its identity while its
+address moves around inside its pod — exactly the behaviour that makes
+tracking a host by address fail, and searching its homogeneous block
+succeed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..net.prefix import Prefix
+from ..util.hashing import mix, stable_string_hash
+from .allocation import Pod
+
+_DHCP = stable_string_hash("dhcp-lease")
+
+#: How many availability epochs one DHCP lease spans.
+EPOCHS_PER_LEASE = 8
+
+
+def lease_of_epoch(epoch: int) -> int:
+    """The lease period an availability epoch falls into."""
+    return epoch // EPOCHS_PER_LEASE if epoch >= 0 else (
+        -((-epoch - 1) // EPOCHS_PER_LEASE) - 1
+    )
+
+
+class PodLeaseMap:
+    """Bijective identity ↔ address mapping for one pod and lease.
+
+    Identities are (slash24 index, offset) pairs in the pod's *lease-0*
+    layout; at lease ``l`` the subscriber holds the address produced by
+    rotating the /24 index and XOR-masking the offset.
+    """
+
+    def __init__(self, pod: Pod, lease: int) -> None:
+        self.pod = pod
+        self.lease = lease
+        self._slash24s: List[Prefix] = pod.slash24s()
+        if not self._slash24s:
+            raise ValueError(f"pod {pod.pod_id} owns no whole /24s")
+        n = len(self._slash24s)
+        self._rotation = mix(_DHCP, pod.lasthop_salt, lease, 1) % n
+        self._offset_mask = mix(_DHCP, pod.lasthop_salt, lease, 2) & 0xFF
+        self._index_by_network = {
+            prefix.network: index
+            for index, prefix in enumerate(self._slash24s)
+        }
+
+    # -- identity space ----------------------------------------------------
+
+    @property
+    def identity_count(self) -> int:
+        return len(self._slash24s) * 256
+
+    def address_of(self, identity: int) -> int:
+        """The address this identity holds during this lease."""
+        if not 0 <= identity < self.identity_count:
+            raise ValueError(f"identity {identity} outside the pod")
+        index, offset = divmod(identity, 256)
+        rotated = (index + self._rotation) % len(self._slash24s)
+        return self._slash24s[rotated].network | (offset ^ self._offset_mask)
+
+    def identity_of(self, addr: int) -> Optional[int]:
+        """The identity currently holding ``addr`` (None if the address
+        is outside the pod's whole /24s)."""
+        rotated = self._index_by_network.get(addr & 0xFFFFFF00)
+        if rotated is None:
+            return None
+        index = (rotated - self._rotation) % len(self._slash24s)
+        offset = (addr & 0xFF) ^ self._offset_mask
+        return index * 256 + offset
+
+
+def renumbered_address(
+    pod: Pod, addr: int, old_epoch: int, new_epoch: int
+) -> Optional[int]:
+    """Where the subscriber holding ``addr`` at ``old_epoch`` lives at
+    ``new_epoch`` (None if the address is not in the pod's /24s, or the
+    lease has not changed — the address is then unchanged)."""
+    old_lease = lease_of_epoch(old_epoch)
+    new_lease = lease_of_epoch(new_epoch)
+    old_map = PodLeaseMap(pod, old_lease)
+    identity = old_map.identity_of(addr)
+    if identity is None:
+        return None
+    return PodLeaseMap(pod, new_lease).address_of(identity)

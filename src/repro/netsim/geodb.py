@@ -1,0 +1,75 @@
+"""GeoLite-style ASN / organization / geolocation database.
+
+The paper resolves block ownership with the Maxmind GeoLite databases
+(Tables 3 and 5). Our equivalent is generated alongside the topology:
+every allocation contributes a record, and lookups do longest-prefix
+match — exactly the query surface GeoLite offers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..net.prefix import Prefix
+from ..net.trie import PrefixTrie
+from .orgs import Organization, OrgType
+
+
+@dataclass(frozen=True)
+class GeoRecord:
+    """What a GeoLite lookup returns for an address."""
+
+    prefix: Prefix
+    asn: int
+    organization: str
+    country: str
+    city: str
+    org_type: OrgType
+
+
+class GeoDatabase:
+    """Prefix → :class:`GeoRecord` with longest-prefix-match lookups."""
+
+    def __init__(self) -> None:
+        self._trie: PrefixTrie[GeoRecord] = PrefixTrie()
+        self._records: List[GeoRecord] = []
+
+    def add_organization_prefix(self, prefix: Prefix, org: Organization) -> None:
+        record = GeoRecord(
+            prefix=prefix,
+            asn=org.asn,
+            organization=org.name,
+            country=org.country,
+            city=org.city,
+            org_type=org.org_type,
+        )
+        self._trie.insert(prefix, record)
+        self._records.append(record)
+
+    def lookup(self, addr: int) -> Optional[GeoRecord]:
+        match = self._trie.lookup(addr)
+        return match[1] if match else None
+
+    def asn_of(self, addr: int) -> Optional[int]:
+        record = self.lookup(addr)
+        return record.asn if record else None
+
+    def lookup_prefix(self, prefix: Prefix) -> Optional[GeoRecord]:
+        """Record covering a whole prefix (looked up by its first address)."""
+        return self.lookup(prefix.network)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[GeoRecord]:
+        return list(self._records)
+
+    def asn_histogram(self, prefixes: List[Prefix]) -> Dict[int, int]:
+        """Count prefixes per ASN (the Table 3 grouping)."""
+        counts: Dict[int, int] = {}
+        for prefix in prefixes:
+            asn = self.asn_of(prefix.network)
+            if asn is not None:
+                counts[asn] = counts.get(asn, 0) + 1
+        return counts

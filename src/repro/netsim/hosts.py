@@ -1,0 +1,204 @@
+"""Host population model.
+
+The simulator never materialises per-host objects: with millions of
+addresses in a scenario, every host attribute (existence, availability,
+default TTL, reverse-path asymmetry, cellular promotion delay) is a pure
+deterministic function of (pod parameters, address, epoch), computed by
+hashing. Scalar versions serve the probe path; vectorised versions (used
+by the ZMap scan) compute the same functions over numpy arrays — tests
+assert bitwise agreement between the two.
+
+Availability has two components, mirroring the diurnal/churn findings
+the paper cites (Quan et al.): a host either *exists* (is a configured,
+usually-on machine) or not, and existing hosts are either *stable*
+(always answer) or *flappy* (answer only in some epochs). The ZMap
+snapshot is taken in an earlier epoch than the probing run, so flappy
+hosts cause the "Too few active" attrition of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..util.hashing import mix, mix_to_unit, stable_string_hash
+
+_EXISTS = stable_string_hash("host-exists")
+_STABLE = stable_string_hash("host-stable")
+_FLAP = stable_string_hash("host-flap")
+_SLEEP = stable_string_hash("block-sleep")
+_SLEEP_SURVIVOR = stable_string_hash("block-sleep-survivor")
+_TTL = stable_string_hash("host-ttl")
+_DELTA = stable_string_hash("host-reverse-delta")
+_PROMO = stable_string_hash("host-promotion")
+
+#: Probability that a flappy host is up in any given epoch.
+FLAPPY_UP_PROBABILITY = 0.5
+#: Probability that a whole /24 is "asleep" in a given epoch — the
+#: correlated, block-level diurnal churn of "When the Internet sleeps"
+#: (Quan et al.), which the paper cites as the availability confound.
+BLOCK_SLEEP_PROBABILITY = 0.28
+#: Fraction of otherwise-up hosts that still answer while their block
+#: sleeps.
+SLEEP_SURVIVOR_FRACTION = 0.05
+
+_MASK64 = (1 << 64) - 1
+_TO_UNIT = 1.0 / float(1 << 64)
+
+
+def host_exists(seed: int, addr: int, density: float) -> bool:
+    """Whether an address has a configured host at all."""
+    return mix_to_unit(seed ^ _EXISTS, addr) < density
+
+
+def host_is_stable(seed: int, addr: int, stability: float) -> bool:
+    """Whether an existing host is always-on (vs flappy)."""
+    return mix_to_unit(seed ^ _STABLE, addr) < stability
+
+
+def block_asleep(
+    seed: int, addr: int, epoch: int,
+    sleep_probability: float = BLOCK_SLEEP_PROBABILITY,
+) -> bool:
+    """Whether the /24 containing ``addr`` sleeps during ``epoch``."""
+    if sleep_probability <= 0.0:
+        return False
+    slash24 = addr & 0xFFFFFF00
+    return mix_to_unit(seed ^ _SLEEP, slash24, epoch) < sleep_probability
+
+
+def host_up_in_epoch(
+    seed: int, addr: int, epoch: int, density: float, stability: float,
+    sleep_probability: float = BLOCK_SLEEP_PROBABILITY,
+) -> bool:
+    """Whether the address answers an echo probe during ``epoch``."""
+    if not host_exists(seed, addr, density):
+        return False
+    if host_is_stable(seed, addr, stability):
+        up = True
+    else:
+        up = mix_to_unit(seed ^ _FLAP, addr, epoch) < FLAPPY_UP_PROBABILITY
+    if up and block_asleep(seed, addr, epoch, sleep_probability):
+        return (
+            mix_to_unit(seed ^ _SLEEP_SURVIVOR, addr)
+            < SLEEP_SURVIVOR_FRACTION
+        )
+    return up
+
+
+def default_ttl(
+    seed: int,
+    addr: int,
+    weights: Sequence[Tuple[int, float]],
+    custom_probability: float,
+) -> int:
+    """The host's initial TTL for replies.
+
+    ``weights`` maps common defaults (64/128/255) to probabilities; with
+    ``custom_probability`` the host instead uses an uncommon value, which
+    defeats the Section 3.4 bucketing and exercises Hobbit's fallback.
+    """
+    if mix_to_unit(seed ^ _TTL, addr, 1) < custom_probability:
+        # Uncommon defaults seen in the wild (e.g. Solaris 255 is common,
+        # but some embedded stacks use 100, 60, 30).
+        choices = (30, 60, 100, 200)
+        return choices[mix(seed ^ _TTL, addr, 2) % len(choices)]
+    roll = mix_to_unit(seed ^ _TTL, addr, 0)
+    cumulative = 0.0
+    for value, weight in weights:
+        cumulative += weight
+        if roll < cumulative:
+            return value
+    return weights[-1][0]
+
+
+def reverse_path_delta(
+    seed: int, addr: int, weights: Sequence[Tuple[int, float]]
+) -> int:
+    """Reverse-path length minus forward-path length for this host.
+
+    Non-zero values make the Section 3.4 hop-count inference over- or
+    under-estimate the last-hop distance.
+    """
+    roll = mix_to_unit(seed ^ _DELTA, addr)
+    cumulative = 0.0
+    for value, weight in weights:
+        cumulative += weight
+        if roll < cumulative:
+            return value
+    return weights[-1][0]
+
+
+def promotion_delay_seconds(
+    seed: int, addr: int, low: float, high: float
+) -> float:
+    """Radio promotion delay for a cellular host's first probe after
+    idling (Section 5.2 / Padmanabhan et al.)."""
+    return low + (high - low) * mix_to_unit(seed ^ _PROMO, addr)
+
+
+# ---------------------------------------------------------------------------
+# Vectorised equivalents (numpy), used by the ZMap full-space scan.
+# ---------------------------------------------------------------------------
+
+
+def _splitmix64_np(values: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer over a uint64 array (matches hashing.splitmix64)."""
+    with np.errstate(over="ignore"):
+        v = (values + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
+        v ^= v >> np.uint64(30)
+        v *= np.uint64(0xBF58476D1CE4E5B9)
+        v ^= v >> np.uint64(27)
+        v *= np.uint64(0x94D049BB133111EB)
+        v ^= v >> np.uint64(31)
+    return v
+
+
+def _mix_np(seed: int, addrs: np.ndarray, *extra: int) -> np.ndarray:
+    """Vectorised ``mix(seed, addr, *extra)`` over an address array."""
+    state0 = np.uint64(_scalar_splitmix(seed & _MASK64))
+    v = _splitmix64_np(np.uint64(state0) ^ addrs.astype(np.uint64))
+    for value in extra:
+        v = _splitmix64_np(v ^ np.uint64(value & _MASK64))
+    return v
+
+
+def _scalar_splitmix(value: int) -> int:
+    from ..util.hashing import splitmix64
+
+    return splitmix64(value)
+
+
+def _unit_np(hashes: np.ndarray) -> np.ndarray:
+    return hashes.astype(np.float64) * _TO_UNIT
+
+
+def hosts_up_in_epoch_np(
+    seed: int,
+    addrs: np.ndarray,
+    epoch: int,
+    density: float,
+    stability: float,
+    sleep_probability: float = BLOCK_SLEEP_PROBABILITY,
+) -> np.ndarray:
+    """Vectorised :func:`host_up_in_epoch` — boolean mask per address."""
+    addrs = addrs.astype(np.uint64)
+    exists = _unit_np(_mix_np(seed ^ _EXISTS, addrs)) < density
+    stable = _unit_np(_mix_np(seed ^ _STABLE, addrs)) < stability
+    flap_up = (
+        _unit_np(_mix_np(seed ^ _FLAP, addrs, epoch)) < FLAPPY_UP_PROBABILITY
+    )
+    up = exists & (stable | flap_up)
+    if sleep_probability > 0.0:
+        slash24s = addrs & np.uint64(0xFFFFFF00)
+        asleep = (
+            _unit_np(_mix_np(seed ^ _SLEEP, slash24s, epoch))
+            < sleep_probability
+        )
+        survivor = (
+            _unit_np(_mix_np(seed ^ _SLEEP_SURVIVOR, addrs))
+            < SLEEP_SURVIVOR_FRACTION
+        )
+        up &= ~asleep | survivor
+    return up

@@ -1,0 +1,270 @@
+"""The simulated Internet: the probe-level API every tool talks to.
+
+:class:`SimulatedInternet` exposes exactly the observation surface a
+measurement host has — send a probe with a TTL and flow id, maybe get an
+ICMP reply — plus the out-of-band databases the paper consults (GeoLite,
+WHOIS, reverse DNS) and, unlike the real Internet, a ground-truth
+oracle for scoring.
+
+A virtual clock advances a fixed amount per probe; host availability is
+a function of the epoch the clock falls in, which is how the ZMap
+snapshot (taken in an earlier epoch) goes stale by probe time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..net.prefix import Prefix
+from ..util.hashing import mix_to_unit, stable_string_hash
+from . import hosts as hostmod
+from .allocation import Allocation, Pod
+from .build import BuiltScenario, build_scenario
+from .config import ScenarioConfig
+from .geodb import GeoDatabase
+from .groundtruth import GroundTruth
+from .icmp import IcmpReply, ReplyKind, stochastic_loss
+from .orgs import OrgRegistry
+from .rdns import pattern_label, rdns_name, router_rdns_name
+from .routing import Forwarder
+from .hosts import promotion_delay_seconds
+from .rtt import CellularRadioTracker, path_rtt_ms
+from .topology import Topology
+from .whois import WhoisService
+
+_BITCOIN = stable_string_hash("bitcoin-node")
+#: Probability that an active residential host runs a Bitcoin node.
+BITCOIN_NODE_PROBABILITY = 0.004
+
+
+class SimulatedInternet:
+    """Runtime façade over a built scenario. See module docstring."""
+
+    def __init__(self, built: BuiltScenario) -> None:
+        self._built = built
+        self.config = built.config
+        self.topology: Topology = built.topology
+        self.forwarder: Forwarder = built.forwarder
+        self.orgs: OrgRegistry = built.orgs
+        self.allocations = built.allocations
+        self.geodb: GeoDatabase = built.geodb
+        self.whois = WhoisService(built.allocations)
+        self.pods: List[Pod] = built.pods
+        self.vantage_address: int = built.vantage_address
+        self.ground_truth = GroundTruth(
+            built.allocations, built.universe_slash24s
+        )
+        self.clock_seconds: float = 0.0
+        self.probe_count: int = 0
+        self._radio = CellularRadioTracker()
+        self._nonce = 0
+
+    @classmethod
+    def from_config(cls, config: ScenarioConfig) -> "SimulatedInternet":
+        return cls(build_scenario(config))
+
+    # -- universe ---------------------------------------------------------
+
+    @property
+    def universe_slash24s(self) -> List[Prefix]:
+        return self.ground_truth.universe_slash24s
+
+    # -- clock ------------------------------------------------------------
+
+    def epoch_at(self, clock_seconds: float) -> int:
+        import math
+
+        return math.floor(clock_seconds / self.config.epoch_seconds)
+
+    @property
+    def current_epoch(self) -> int:
+        return self.epoch_at(self.clock_seconds)
+
+    def advance_clock(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("the clock only moves forward")
+        self.clock_seconds += seconds
+
+    # -- probe primitive ----------------------------------------------------
+
+    def send_probe(
+        self, dst: int, ttl: int, flow_id: int = 0,
+        source: Optional[int] = None,
+    ) -> Optional[IcmpReply]:
+        """Send one ICMP probe. Returns the reply, or None on timeout.
+
+        ``ttl`` is the probe's initial TTL; ``flow_id`` stands for the
+        header fields per-flow load balancers hash (what Paris traceroute
+        pins and MDA varies). ``source`` selects among the vantage
+        host's addresses: per-destination balancers that hash the source
+        (Section 6.1) resolve differently per vantage address, which is
+        how probing from additional vantage points reveals extra
+        last-hop routers.
+        """
+        self.probe_count += 1
+        self._nonce += 1
+        nonce = self._nonce
+        self.clock_seconds += self.config.probe_clock_step_seconds
+        if ttl < 1:
+            return None
+        allocation = self.allocations.lookup(dst)
+        if allocation is None:
+            return None
+        path = self.forwarder.resolve_path(
+            source if source is not None else self.vantage_address,
+            dst, flow_id, nonce,
+        )
+        if ttl <= len(path):
+            return self._router_reply(path, ttl, nonce)
+        return self._host_reply(allocation, dst, path, nonce)
+
+    def _router_reply(
+        self, path, ttl: int, nonce: int
+    ) -> Optional[IcmpReply]:
+        router = path[ttl - 1]
+        if not router.responds_to_ttl_exceeded:
+            return None
+        if router.rate_limiter is not None and not router.rate_limiter.allow(
+            self.clock_seconds
+        ):
+            return None
+        if stochastic_loss(
+            self._built.loss_seed, nonce, self.config.router_loss_probability
+        ):
+            return None
+        rtt = path_rtt_ms(path[:ttl], self._built.rtt_seed, nonce)
+        reply_ttl = max(0, 255 - ttl)
+        return IcmpReply(ReplyKind.TTL_EXCEEDED, router.address, reply_ttl, rtt)
+
+    def _host_reply(
+        self, allocation: Allocation, dst: int, path, nonce: int
+    ) -> Optional[IcmpReply]:
+        pod = allocation.pod
+        epoch = self.current_epoch
+        if not hostmod.host_up_in_epoch(
+            self._built.host_seed, dst, epoch, pod.host_density,
+            pod.host_stability, pod.sleep_probability,
+        ):
+            return None
+        if stochastic_loss(
+            self._built.loss_seed, nonce, self.config.host_loss_probability
+        ):
+            return None
+        default = hostmod.default_ttl(
+            self._built.host_seed, dst, self.config.default_ttl_weights,
+            self.config.custom_ttl_probability,
+        )
+        delta = hostmod.reverse_path_delta(
+            self._built.host_seed, dst, self.config.reverse_delta_weights
+        )
+        reverse_len = max(1, len(path) + delta)
+        observed_ttl = max(0, default - reverse_len)
+        rtt = path_rtt_ms(path, self._built.rtt_seed, nonce)
+        if pod.cellular and self._radio.promotion_applies(
+            dst, self.clock_seconds
+        ):
+            low, high = pod.promotion_delay_range
+            rtt += 1000.0 * promotion_delay_seconds(
+                self._built.host_seed, dst, low, high
+            )
+        return IcmpReply(ReplyKind.ECHO_REPLY, dst, observed_ttl, rtt)
+
+    # -- fast host queries (for the ZMap scan and tests) ---------------------
+
+    def is_host_up(self, addr: int, epoch: Optional[int] = None) -> bool:
+        """Oracle form of an echo probe (no loss, no clock movement)."""
+        allocation = self.allocations.lookup(addr)
+        if allocation is None:
+            return False
+        if epoch is None:
+            epoch = self.current_epoch
+        pod = allocation.pod
+        return hostmod.host_up_in_epoch(
+            self._built.host_seed, addr, epoch, pod.host_density,
+            pod.host_stability, pod.sleep_probability,
+        )
+
+    def active_addresses_in_slash24(
+        self, slash24: Prefix, epoch: Optional[int] = None
+    ) -> List[int]:
+        """Vectorised sweep of one /24: all addresses up in ``epoch``."""
+        if epoch is None:
+            epoch = self.current_epoch
+        result: List[int] = []
+        for allocation in self.allocations.allocations_within(slash24):
+            first = max(allocation.prefix.first, slash24.first)
+            last = min(allocation.prefix.last, slash24.last)
+            addrs = np.arange(first, last + 1, dtype=np.uint64)
+            mask = hostmod.hosts_up_in_epoch_np(
+                self._built.host_seed, addrs, epoch,
+                allocation.pod.host_density, allocation.pod.host_stability,
+                allocation.pod.sleep_probability,
+            )
+            result.extend(int(a) for a in addrs[mask])
+        return sorted(result)
+
+    # -- naming -------------------------------------------------------------
+
+    def rdns_lookup(self, addr: int) -> Optional[str]:
+        """PTR lookup for any address (host or router interface)."""
+        router = self.topology.by_address(addr)
+        if router is not None:
+            return router_rdns_name(router.label)
+        pod = self.allocations.pod_of(addr)
+        if pod is None:
+            return None
+        pattern_id = self._pattern_id_for(pod, addr)
+        return rdns_name(
+            pod.rdns_scheme, pattern_id, addr, self._built.host_seed
+        )
+
+    def rdns_pattern_of(self, addr: int) -> Optional[str]:
+        """The canonical pattern label the address's name matches."""
+        pod = self.allocations.pod_of(addr)
+        if pod is None:
+            return None
+        return pattern_label(pod.rdns_scheme, self._pattern_id_for(pod, addr))
+
+    @staticmethod
+    def _pattern_id_for(pod: Pod, addr: int) -> int:
+        if pod.rdns_second_pattern_id is not None and (addr & 0xFF) >= 128:
+            return pod.rdns_second_pattern_id
+        return pod.rdns_pattern_id
+
+    # -- bitcoin nodes (negative control for Section 7.2) --------------------
+
+    def is_bitcoin_node(self, addr: int) -> bool:
+        """True for the small subset of residential hosts that run a
+        publicly-listed Bitcoin node."""
+        pod = self.allocations.pod_of(addr)
+        if pod is None or pod.rdns_scheme not in ("residential", "twc"):
+            return False
+        if not self.is_host_up(addr):
+            return False
+        return (
+            mix_to_unit(self._built.host_seed ^ _BITCOIN, addr)
+            < BITCOIN_NODE_PROBABILITY
+        )
+
+    def bitcoin_nodes_in(self, slash24s: List[Prefix]) -> List[int]:
+        nodes: List[int] = []
+        for slash24 in slash24s:
+            for addr in self.active_addresses_in_slash24(slash24):
+                if self.is_bitcoin_node(addr):
+                    nodes.append(addr)
+        return nodes
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "probe_count": self.probe_count,
+            "clock_seconds": self.clock_seconds,
+            "routers": len(self.topology),
+            "pods": len(self.pods),
+            "allocations": len(self.allocations),
+            "slash24s": len(self.universe_slash24s),
+            "forwarder_cache": self.forwarder.cache_size,
+        }

@@ -1,0 +1,134 @@
+"""FIBs and forwarding.
+
+Each router owns a :class:`Fib`: a radix trie of route entries resolved
+with longest-prefix match. Forwarding (:class:`Forwarder`) walks routers
+from the vantage gateway until the packet reaches the router that owns a
+host route for the destination (its last-hop router).
+
+The distinction at the heart of Hobbit lives here: a *route entry*
+(:class:`RouteEntry`) is installed for a destination network, so two
+destinations covered by different entries are topologically distinct;
+a *load-balanced* entry has one entry but several next hops, so the
+divergence it causes between destinations is not a topological
+difference (Figure 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..net.prefix import Prefix
+from ..net.trie import PrefixTrie
+from .loadbalance import NextHopSelector
+from .topology import Router, Topology
+
+#: Forwarding gives up after this many hops (loop guard).
+MAX_FORWARD_HOPS = 64
+
+
+@dataclass
+class RouteEntry:
+    """A FIB entry: traffic to ``prefix`` goes to ``selector``'s choice.
+
+    ``delivers`` marks the entry as a *directly connected* network: the
+    router owning it is the last-hop router for addresses it covers.
+    """
+
+    prefix: Prefix
+    selector: Optional[NextHopSelector] = None
+    delivers: bool = False
+
+    def __post_init__(self) -> None:
+        if self.delivers == (self.selector is not None):
+            raise ValueError(
+                "a route entry either delivers locally or has a selector"
+            )
+
+
+class Fib:
+    """Longest-prefix-match forwarding table for one router."""
+
+    def __init__(self) -> None:
+        self._trie: PrefixTrie[RouteEntry] = PrefixTrie()
+
+    def install(self, entry: RouteEntry) -> None:
+        """Install (or replace) the entry for its prefix."""
+        self._trie.insert(entry.prefix, entry)
+
+    def lookup(self, dst: int) -> Optional[RouteEntry]:
+        """Longest-prefix match for a destination address."""
+        match = self._trie.lookup(dst)
+        return match[1] if match else None
+
+    def entries(self) -> List[RouteEntry]:
+        return [entry for _, entry in self._trie.items()]
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+
+class ForwardingError(RuntimeError):
+    """Raised when a packet cannot be forwarded (no route / loop)."""
+
+
+class Forwarder:
+    """Walks packets through the router graph.
+
+    Resolution is deterministic for per-flow and per-destination load
+    balancing, so the resolved path for ``(dst, flow_id)`` is cached
+    (per-packet balancers disable caching along the affected path).
+    """
+
+    def __init__(self, topology: Topology, fibs: Dict[int, Fib], source_router: Router) -> None:
+        self.topology = topology
+        self.fibs = fibs
+        self.source_router = source_router
+        self._path_cache: Dict[Tuple[int, int], Tuple[Router, ...]] = {}
+        self.cache_enabled = True
+
+    def resolve_path(
+        self, src: int, dst: int, flow_id: int, nonce: int = 0
+    ) -> Tuple[Router, ...]:
+        """Router sequence from the vantage gateway to the last-hop
+        router for ``dst`` (inclusive of both).
+
+        Raises :class:`ForwardingError` if no route exists or a loop is
+        detected.
+        """
+        cache_key = (src, dst, flow_id)
+        if self.cache_enabled:
+            cached = self._path_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        path: List[Router] = []
+        cacheable = True
+        router = self.source_router
+        for _ in range(MAX_FORWARD_HOPS):
+            path.append(router)
+            fib = self.fibs.get(router.router_id)
+            if fib is None:
+                raise ForwardingError(f"router {router} has no FIB")
+            entry = fib.lookup(dst)
+            if entry is None:
+                raise ForwardingError(
+                    f"no route for destination at router {router}"
+                )
+            if entry.delivers:
+                result = tuple(path)
+                if self.cache_enabled and cacheable:
+                    self._path_cache[cache_key] = result
+                return result
+            assert entry.selector is not None
+            if entry.selector.__class__.__name__ == "PerPacketBalancer":
+                cacheable = False
+            next_id = entry.selector.select(src, dst, flow_id, nonce)
+            router = self.topology.by_id(next_id)
+        raise ForwardingError(f"forwarding loop towards {dst}")
+
+    def clear_cache(self) -> None:
+        self._path_cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._path_cache)

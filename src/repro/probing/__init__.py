@@ -1,0 +1,51 @@
+"""Probing tools: ZMap-style scanning, ping, traceroute variants and
+Paris traceroute MDA, all driven through budgeted probe sessions."""
+
+from .mda import (
+    LasthopResult,
+    MultipathResult,
+    enumerate_paths,
+    identify_lasthops,
+)
+from .mda_perhop import HopSet, PerHopResult, enumerate_hops
+from .ping import PingResult, ping
+from .session import ProbeBudgetExceeded, ProbeStats, Prober
+from .stopping import probes_required, probes_to_rule_out, stopping_table
+from .traceroute import (
+    Route,
+    TracerouteHop,
+    TracerouteResult,
+    classic_traceroute,
+    paris_traceroute,
+    route_sets_share_route,
+    routes_equal,
+)
+from .zmap import ActivitySnapshot, scan, scan_with_probes
+
+__all__ = [
+    "ActivitySnapshot",
+    "HopSet",
+    "LasthopResult",
+    "MultipathResult",
+    "PerHopResult",
+    "PingResult",
+    "ProbeBudgetExceeded",
+    "ProbeStats",
+    "Prober",
+    "Route",
+    "TracerouteHop",
+    "TracerouteResult",
+    "classic_traceroute",
+    "enumerate_hops",
+    "enumerate_paths",
+    "identify_lasthops",
+    "paris_traceroute",
+    "ping",
+    "probes_required",
+    "probes_to_rule_out",
+    "route_sets_share_route",
+    "routes_equal",
+    "scan",
+    "scan_with_probes",
+    "stopping_table",
+]

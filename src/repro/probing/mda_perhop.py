@@ -1,0 +1,121 @@
+"""Per-hop (node-level) MDA — the textbook formulation.
+
+:func:`repro.probing.mda.enumerate_paths` enumerates whole paths by
+varying flow ids; the original MDA (Augustin et al., E2EMON 2007)
+instead works hop by hop: at each TTL it sends probes with varied flow
+ids until the stopping rule says every next-hop interface at that hop
+has been seen, then moves one TTL deeper. Per-hop MDA needs fewer
+probes when diversity is multiplicative (it pays per *hop*, not per
+*path combination*), at the cost of only learning the hop-set DAG
+rather than complete path tuples.
+
+Both implementations exist so they can be compared — see
+``tests/probing/test_mda_perhop.py`` for the agreement property and
+``benchmarks/bench_perf_components.py`` for the probe-cost comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Set
+
+from .session import Prober
+from .stopping import DEFAULT_CONFIDENCE, probes_required
+
+DEFAULT_MAX_TTL = 32
+
+
+@dataclass
+class HopSet:
+    """Interfaces discovered at one TTL."""
+
+    ttl: int
+    interfaces: FrozenSet[int]
+    probes_used: int
+    #: True if some probes at this TTL went unanswered.
+    saw_timeouts: bool = False
+
+
+@dataclass
+class PerHopResult:
+    """The hop-set sequence towards one destination."""
+
+    dst: int
+    hops: List[HopSet] = field(default_factory=list)
+    reached: bool = False
+    probes_used: int = 0
+
+    @property
+    def interface_sets(self) -> List[FrozenSet[int]]:
+        return [hop.interfaces for hop in self.hops]
+
+    @property
+    def lasthop_interfaces(self) -> FrozenSet[int]:
+        """Interfaces at the deepest router hop (empty if unreached or
+        silent)."""
+        if not self.reached or not self.hops:
+            return frozenset()
+        return self.hops[-1].interfaces
+
+    def width_product(self) -> int:
+        """Upper bound on path combinations: the product of hop widths."""
+        product = 1
+        for hop in self.hops:
+            product *= max(len(hop.interfaces), 1)
+        return product
+
+
+def enumerate_hops(
+    prober: Prober,
+    dst: int,
+    confidence: float = DEFAULT_CONFIDENCE,
+    max_ttl: int = DEFAULT_MAX_TTL,
+    flow_seed: int = 0,
+    max_probes_per_hop: int = 64,
+) -> PerHopResult:
+    """Run per-hop MDA towards ``dst``. See module docstring."""
+    result = PerHopResult(dst=dst)
+    for ttl in range(1, max_ttl + 1):
+        interfaces: Set[int] = set()
+        sent = 0
+        saw_timeouts = False
+        reached_here = False
+        while sent < min(
+            probes_required(max(len(interfaces), 1), confidence),
+            max_probes_per_hop,
+        ):
+            reply = prober.probe(dst, ttl, flow_seed + sent)
+            sent += 1
+            result.probes_used += 1
+            if reply is None:
+                saw_timeouts = True
+                continue
+            if reply.is_echo:
+                reached_here = True
+                # Path-length variation could mix echoes with router
+                # replies at one TTL; keep collecting the routers.
+                continue
+            interfaces.add(reply.source)
+        if reached_here and not interfaces:
+            result.reached = True
+            return result
+        result.hops.append(
+            HopSet(
+                ttl=ttl,
+                interfaces=frozenset(interfaces),
+                probes_used=sent,
+                saw_timeouts=saw_timeouts,
+            )
+        )
+        if reached_here:
+            result.reached = True
+            return result
+        if not interfaces and saw_timeouts and ttl > 3:
+            # Several consecutive silent hops usually mean the
+            # destination is unreachable; give up after a short run.
+            silent_run = sum(
+                1 for hop in result.hops[-3:] if not hop.interfaces
+            )
+            if silent_run == 3:
+                return result
+    return result

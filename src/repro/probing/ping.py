@@ -1,0 +1,63 @@
+"""Ping: RTT series probing.
+
+Section 5.2 identifies cellular blocks by sending 20 pings to each
+address and comparing the first RTT with the maximum of the rest: radio
+promotion makes a cellular device's *first* reply slow, after which its
+radio stays connected and subsequent replies are fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .session import Prober
+
+DEFAULT_PING_COUNT = 20
+DEFAULT_INTERVAL_SECONDS = 0.5
+
+
+@dataclass
+class PingResult:
+    """RTTs of a ping train; None entries are timeouts."""
+
+    addr: int
+    rtts_ms: List[Optional[float]] = field(default_factory=list)
+
+    @property
+    def successes(self) -> List[float]:
+        return [rtt for rtt in self.rtts_ms if rtt is not None]
+
+    @property
+    def loss_rate(self) -> float:
+        if not self.rtts_ms:
+            return 0.0
+        return 1.0 - len(self.successes) / len(self.rtts_ms)
+
+    def first_minus_max_rest_seconds(self) -> Optional[float]:
+        """First RTT minus the maximum of the remaining RTTs, in seconds
+        (the Figure 6 statistic). None unless the first ping and at
+        least one later ping succeeded."""
+        if not self.rtts_ms or self.rtts_ms[0] is None:
+            return None
+        rest = [rtt for rtt in self.rtts_ms[1:] if rtt is not None]
+        if not rest:
+            return None
+        return (self.rtts_ms[0] - max(rest)) / 1000.0
+
+
+def ping(
+    prober: Prober,
+    addr: int,
+    count: int = DEFAULT_PING_COUNT,
+    interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+    flow_id: int = 0,
+) -> PingResult:
+    """Send ``count`` echo probes spaced ``interval_seconds`` apart."""
+    result = PingResult(addr=addr)
+    for index in range(count):
+        if index:
+            prober.internet.advance_clock(interval_seconds)
+        reply = prober.echo(addr, flow_id)
+        result.rtts_ms.append(reply.rtt_ms if reply is not None else None)
+    return result

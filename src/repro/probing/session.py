@@ -1,0 +1,91 @@
+"""Probe sessions: accounting and budgets on top of the raw probe API.
+
+All probing tools go through a :class:`Prober` so that experiments can
+report measurement loads (a central concern of the paper) and tests can
+cap runaway probing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..netsim.icmp import IcmpReply
+from ..netsim.internet import SimulatedInternet
+
+#: Default TTL for plain echo probes (a typical OS default).
+ECHO_TTL = 64
+
+
+class ProbeBudgetExceeded(RuntimeError):
+    """Raised when a session exceeds its probe budget."""
+
+
+@dataclass
+class ProbeStats:
+    sent: int = 0
+    answered: int = 0
+    echo_replies: int = 0
+    ttl_exceeded: int = 0
+
+    @property
+    def timeouts(self) -> int:
+        return self.sent - self.answered
+
+    @property
+    def loss_rate(self) -> float:
+        return self.timeouts / self.sent if self.sent else 0.0
+
+
+class Prober:
+    """A measurement session bound to one simulated Internet."""
+
+    def __init__(
+        self,
+        internet: SimulatedInternet,
+        max_probes: Optional[int] = None,
+        source: Optional[int] = None,
+    ) -> None:
+        self.internet = internet
+        self.max_probes = max_probes
+        #: Vantage address the session probes from (None → the
+        #: scenario's default vantage). Source-hashing per-destination
+        #: balancers resolve differently per vantage (Section 6.1).
+        self.source = source
+        self.stats = ProbeStats()
+
+    def probe(
+        self, dst: int, ttl: int, flow_id: int = 0
+    ) -> Optional[IcmpReply]:
+        """Send one probe; returns the reply or None on timeout."""
+        if self.max_probes is not None and self.stats.sent >= self.max_probes:
+            raise ProbeBudgetExceeded(
+                f"budget of {self.max_probes} probes exhausted"
+            )
+        reply = self.internet.send_probe(dst, ttl, flow_id, self.source)
+        self.stats.sent += 1
+        if reply is not None:
+            self.stats.answered += 1
+            if reply.is_echo:
+                self.stats.echo_replies += 1
+            else:
+                self.stats.ttl_exceeded += 1
+        return reply
+
+    def echo(self, dst: int, flow_id: int = 0) -> Optional[IcmpReply]:
+        """An ICMP Echo Request with a standard TTL."""
+        return self.probe(dst, ECHO_TTL, flow_id)
+
+    def echo_with_retries(
+        self, dst: int, retries: int = 2, flow_id: int = 0
+    ) -> Optional[IcmpReply]:
+        """Echo with retransmissions (covers stochastic loss)."""
+        for attempt in range(retries + 1):
+            reply = self.echo(dst, flow_id + attempt)
+            if reply is not None:
+                return reply
+        return None
+
+    @property
+    def probes_sent(self) -> int:
+        return self.stats.sent

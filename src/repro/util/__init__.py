@@ -1,0 +1,25 @@
+"""Shared utilities: deterministic hashing, seeding and table rendering."""
+
+from .hashing import (
+    MASK64,
+    mix,
+    mix_choice,
+    mix_to_unit,
+    splitmix64,
+    stable_string_hash,
+)
+from .randomness import SeedSpawner
+from .tables import format_percent, render_series, render_table
+
+__all__ = [
+    "MASK64",
+    "SeedSpawner",
+    "format_percent",
+    "mix",
+    "mix_choice",
+    "mix_to_unit",
+    "render_series",
+    "render_table",
+    "splitmix64",
+    "stable_string_hash",
+]

@@ -1,0 +1,52 @@
+"""Deterministic 64-bit mixing for load-balancer hashing and host state.
+
+Real routers hash header fields (source, destination, ports) to pick a
+next hop; hosts' availability and attributes must be stable functions of
+their address so that the simulator never has to materialise per-host
+objects for millions of addresses. Both needs are served by a small,
+seedable, high-quality integer mixer (splitmix64 finalizer).
+
+Python's builtin ``hash`` is salted per process, so it must never be used
+for anything that has to be reproducible across runs.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def splitmix64(value: int) -> int:
+    """The splitmix64 finalizer: a fast, well-distributed 64-bit mixer."""
+    value = (value + _GOLDEN) & MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & MASK64
+    return value ^ (value >> 31)
+
+
+def mix(seed: int, *values: int) -> int:
+    """Combine a seed and any number of ints into one 64-bit hash."""
+    state = splitmix64(seed & MASK64)
+    for value in values:
+        state = splitmix64(state ^ (value & MASK64))
+    return state
+
+
+def mix_to_unit(seed: int, *values: int) -> float:
+    """Deterministic uniform float in [0, 1) from the mixed inputs."""
+    return mix(seed, *values) / float(1 << 64)
+
+
+def mix_choice(seed: int, n: int, *values: int) -> int:
+    """Deterministic choice in ``range(n)`` from the mixed inputs."""
+    if n <= 0:
+        raise ValueError("cannot choose from an empty range")
+    return mix(seed, *values) % n
+
+
+def stable_string_hash(text: str, seed: int = 0) -> int:
+    """64-bit hash of a string, stable across processes."""
+    state = splitmix64(seed)
+    for byte in text.encode("utf-8"):
+        state = splitmix64(state ^ byte)
+    return state

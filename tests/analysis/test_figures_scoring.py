@@ -1,0 +1,74 @@
+"""Tests for figure-series export and ground-truth scoring."""
+
+import csv
+import os
+
+import pytest
+
+from repro.analysis.figures import FIGURE_BUILDERS, export_figures
+from repro.analysis.scoring import ValidationReport, score_pipeline
+from repro.experiments import get_workspace
+
+
+@pytest.fixture(scope="module")
+def workspace():
+    ws = get_workspace("tiny")
+    ws.ensure_built()
+    return ws
+
+
+class TestFigureSeries:
+    def test_all_builders_produce_series(self, workspace):
+        for figure_id, builder in FIGURE_BUILDERS.items():
+            series_map = builder(workspace)
+            assert series_map, figure_id
+            for name, series in series_map.items():
+                if not name.startswith("fig9"):
+                    # fig9's matched/unmatched split may legitimately be
+                    # empty on one side at tiny scale.
+                    assert series, name
+                widths = {len(row) for row in series}
+                assert len(widths) <= 1, f"{name} rows ragged"
+
+    def test_cdf_series_monotone(self, workspace):
+        series = FIGURE_BUILDERS["fig3"](workspace)
+        for name, points in series.items():
+            fractions = [fraction for _x, fraction in points]
+            assert fractions == sorted(fractions), name
+            assert fractions[-1] == pytest.approx(1.0)
+
+    def test_fig11_curves_end_near_coverage(self, workspace):
+        series = FIGURE_BUILDERS["fig11"](workspace)
+        for name, points in series.items():
+            assert points[-1][1] > 0.5, name
+
+    def test_export_writes_csv(self, workspace, tmp_path):
+        written = export_figures(workspace, str(tmp_path))
+        assert len(written) >= 10
+        non_empty = 0
+        for path in written:
+            assert os.path.exists(path)
+            with open(path, newline="") as handle:
+                rows = list(csv.reader(handle))
+            non_empty += bool(rows)
+        assert non_empty >= len(written) - 2
+
+
+class TestScoring:
+    def test_report_floors(self, workspace):
+        report = score_pipeline(
+            workspace.internet,
+            workspace.campaign,
+            workspace.aggregation.final_blocks,
+        )
+        assert report.analyzable > 100
+        assert report.accuracy > 0.85
+        assert report.homogeneous_precision > 0.9
+        assert report.block_purity > 0.7
+        assert len(report.rows()) == 6
+
+    def test_empty_report_defaults(self):
+        report = ValidationReport()
+        assert report.accuracy == 0.0
+        assert report.block_purity == 1.0
+        assert report.homogeneous_recall == 0.0

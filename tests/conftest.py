@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+The tiny scenario builds in well under a second, so probing tests get a
+*fresh* internet (the simulator is stateful: virtual clock, rate-limiter
+buckets, cellular radio state), while read-only structural tests share a
+session-scoped one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import ScenarioConfig, SimulatedInternet, tiny_scenario
+from repro.probing import Prober, scan
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> ScenarioConfig:
+    return tiny_scenario(seed=7)
+
+
+@pytest.fixture(scope="session")
+def shared_internet(tiny_config) -> SimulatedInternet:
+    """Session-scoped internet for read-only (non-probing) tests."""
+    return SimulatedInternet.from_config(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def shared_snapshot(shared_internet):
+    """ZMap snapshot at the configured snapshot epoch (read-only)."""
+    return scan(shared_internet)
+
+
+@pytest.fixture()
+def internet(tiny_config) -> SimulatedInternet:
+    """A fresh internet per test; safe to probe and mutate."""
+    return SimulatedInternet.from_config(tiny_config)
+
+
+@pytest.fixture()
+def prober(internet) -> Prober:
+    return Prober(internet)
+
+
+@pytest.fixture()
+def snapshot(internet):
+    return scan(internet)

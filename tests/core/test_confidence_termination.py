@@ -1,0 +1,165 @@
+"""Tests for the confidence table and termination policies."""
+
+import pytest
+
+from repro.core import (
+    ConfidenceTable,
+    ExhaustivePolicy,
+    ReprobePolicy,
+    StopReason,
+    TerminationPolicy,
+    single_lasthop_table,
+)
+from repro.probing import probes_required
+
+
+def fs(*values):
+    return frozenset(values)
+
+
+def _single_lasthop_observations(n, lasthop=1):
+    return {100 + i: fs(lasthop) for i in range(n)}
+
+
+def _interleaved_observations(n):
+    """Alternating last hops → non-hierarchical grouping for n >= 4."""
+    return {100 + i: fs(1 if i % 2 == 0 else 2) for i in range(n)}
+
+
+def _nested_observations():
+    """Group 1 brackets group 2 → hierarchical (inclusive)."""
+    return {
+        100: fs(1), 110: fs(2), 120: fs(2), 130: fs(1),
+    }
+
+
+class TestConfidenceTable:
+    def test_record_and_query(self):
+        table = ConfidenceTable(min_trials=2)
+        table.record(2, 10, True)
+        assert table.confidence(2, 10) is None  # below min_trials
+        table.record(2, 10, True)
+        assert table.confidence(2, 10) == 1.0
+
+    def test_required_probes(self):
+        table = ConfidenceTable(min_trials=1)
+        table.record(2, 10, False)
+        table.record(2, 20, True)
+        table.record(2, 30, True)
+        assert table.required_probes(2, level=0.95) == 20
+
+    def test_required_probes_unreachable(self):
+        table = ConfidenceTable(min_trials=1)
+        table.record(2, 10, False)
+        assert table.required_probes(2) is None
+
+    def test_build_from_single_lasthop_blocks(self):
+        observations = _single_lasthop_observations(12)
+        table = ConfidenceTable.build(
+            {"block": observations}, samples_per_block=8, min_trials=4
+        )
+        # Cardinality 1 is always recognised.
+        assert table.required_probes(1) == 4
+
+    def test_build_from_interleaved_blocks(self):
+        observations = _interleaved_observations(16)
+        table = ConfidenceTable.build(
+            {"block": observations}, samples_per_block=16, min_trials=8
+        )
+        # With alternating groups, recognition improves with subset
+        # size; at n=16 (everything) success is certain.
+        grid = table.grid()
+        assert grid
+        full = [row for row in grid if row[1] == 16]
+        assert full and full[0][2] == 1.0
+
+    def test_grid_sorted(self):
+        table = single_lasthop_table()
+        grid = table.grid()
+        assert grid == sorted(grid)
+
+
+class TestTerminationPolicy:
+    def test_non_hierarchical_stop(self):
+        policy = TerminationPolicy()
+        reason = policy.should_stop(_interleaved_observations(6))
+        assert reason is StopReason.NON_HIERARCHICAL
+
+    def test_single_lasthop_stop_at_six(self):
+        policy = TerminationPolicy()
+        assert policy.should_stop(_single_lasthop_observations(5)) is None
+        assert (
+            policy.should_stop(_single_lasthop_observations(6))
+            is StopReason.SINGLE_LASTHOP
+        )
+
+    def test_identical_multi_sets_stop_as_non_hierarchical(self):
+        policy = TerminationPolicy()
+        observations = {100 + i: fs(1, 2) for i in range(6)}
+        assert (
+            policy.should_stop(observations)
+            is StopReason.NON_HIERARCHICAL
+        )
+
+    def test_confidence_stop(self):
+        table = ConfidenceTable(min_trials=1)
+        table.record(2, 5, True)
+        policy = TerminationPolicy(
+            confidence_table=table, stop_on_non_hierarchical=False,
+            single_lasthop_rule=False,
+        )
+        nested = _nested_observations()
+        assert policy.should_stop(nested) is None  # only 4 probed
+        more = dict(nested)
+        more[140] = fs(1)
+        assert policy.should_stop(more) is StopReason.CONFIDENCE_REACHED
+
+    def test_rules_can_be_disabled(self):
+        policy = TerminationPolicy(
+            single_lasthop_rule=False, stop_on_non_hierarchical=False
+        )
+        assert policy.should_stop(_single_lasthop_observations(10)) is None
+        assert policy.should_stop(_interleaved_observations(10)) is None
+
+    def test_empty_observations_never_stop(self):
+        assert TerminationPolicy().should_stop({}) is None
+
+    def test_required_probes_helper(self):
+        table = ConfidenceTable(min_trials=1)
+        table.record(2, 7, True)
+        policy = TerminationPolicy(confidence_table=table)
+        assert policy.required_probes(_nested_observations()) == 7
+        assert TerminationPolicy().required_probes({}) is None
+
+
+class TestReprobePolicy:
+    def test_stops_at_enumeration_budget(self):
+        policy = ReprobePolicy()
+        # One last hop observed → budget is probes_required(1) = 6.
+        assert policy.should_stop(_single_lasthop_observations(5)) is None
+        assert (
+            policy.should_stop(_single_lasthop_observations(6))
+            is StopReason.ENUMERATION_COMPLETE
+        )
+
+    def test_budget_grows_with_cardinality(self):
+        policy = ReprobePolicy()
+        observations = _interleaved_observations(10)
+        # Two last hops → needs probes_required(2) = 11 destinations.
+        assert policy.should_stop(observations) is None
+        observations = _interleaved_observations(probes_required(2))
+        assert (
+            policy.should_stop(observations)
+            is StopReason.ENUMERATION_COMPLETE
+        )
+
+    def test_does_not_stop_on_non_hierarchy(self):
+        policy = ReprobePolicy()
+        assert policy.should_stop(_interleaved_observations(6)) is None
+
+
+class TestExhaustivePolicy:
+    def test_never_stops(self):
+        policy = ExhaustivePolicy()
+        assert policy.should_stop(_single_lasthop_observations(50)) is None
+        assert policy.should_stop(_interleaved_observations(50)) is None

@@ -1,0 +1,109 @@
+"""Tests for the Section 4.2 strict heterogeneity criteria."""
+
+from repro.core import (
+    analyze_sub_blocks as _analyze_sub_blocks,
+    composition_distribution,
+    format_composition,
+)
+from repro.net import parse
+
+
+def analyze_sub_blocks(observations, **kwargs):
+    kwargs.setdefault("min_observations", 4)
+    return _analyze_sub_blocks(observations, **kwargs)
+
+
+def fs(*values):
+    return frozenset(values)
+
+
+BASE = parse("10.0.0.0")
+
+
+def obs(mapping):
+    return {BASE + offset: fs(lasthop) for offset, lasthop in mapping.items()}
+
+
+class TestStrictCriteria:
+    def test_paper_example_aligned_split(self):
+        # <X.2, X.125> and <X.129, X.254>: disjoint and aligned → very
+        # likely heterogeneous (Section 4.2's example).
+        observations = obs({2: 1, 125: 1, 129: 2, 254: 2})
+        analysis = analyze_sub_blocks(observations)
+        assert analysis.strictly_heterogeneous
+        assert analysis.composition == (25, 25)
+
+    def test_paper_example_unaligned(self):
+        # Second group <X.127, X.254>: disjoint but the /24-wide
+        # enclosing subnet of the second group contains the first.
+        observations = obs({2: 1, 125: 1, 127: 2, 254: 2})
+        analysis = analyze_sub_blocks(observations)
+        assert not analysis.strictly_heterogeneous
+
+    def test_single_group_not_heterogeneous(self):
+        observations = obs({2: 1, 200: 1})
+        assert not analyze_sub_blocks(observations).strictly_heterogeneous
+
+    def test_inclusive_groups_rejected(self):
+        observations = obs({2: 1, 254: 1, 100: 2, 120: 2})
+        assert not analyze_sub_blocks(observations).strictly_heterogeneous
+
+    def test_interleaved_groups_rejected(self):
+        observations = obs({2: 1, 130: 1, 100: 2, 200: 2})
+        assert not analyze_sub_blocks(observations).strictly_heterogeneous
+
+    def test_three_way_split(self):
+        # /25 + /26 + /26.
+        observations = obs({2: 1, 120: 1, 130: 2, 190: 2, 195: 3, 250: 3})
+        analysis = analyze_sub_blocks(observations)
+        assert analysis.strictly_heterogeneous
+        assert analysis.composition == (25, 26, 26)
+
+    def test_sub_blocks_sorted(self):
+        observations = obs({195: 3, 250: 3, 2: 1, 120: 1, 130: 2, 190: 2})
+        analysis = analyze_sub_blocks(observations)
+        networks = [block.network for block in analysis.sub_blocks]
+        assert networks == sorted(networks)
+
+
+class TestDistribution:
+    def test_composition_distribution(self):
+        analyses = [
+            analyze_sub_blocks(obs({2: 1, 125: 1, 129: 2, 254: 2})),
+            analyze_sub_blocks(obs({2: 1, 125: 1, 129: 2, 254: 2})),
+            analyze_sub_blocks(
+                obs({2: 1, 120: 1, 130: 2, 190: 2, 195: 3, 250: 3})
+            ),
+            analyze_sub_blocks(obs({2: 1, 200: 1})),  # not strict
+        ]
+        rows = composition_distribution(analyses)
+        assert rows[0][0] == (25, 25)
+        assert rows[0][1] == 2
+        assert rows[0][2] == 2 / 3
+
+    def test_empty_distribution(self):
+        assert composition_distribution([]) == []
+
+    def test_format_composition(self):
+        assert format_composition((25, 26, 26)) == "{/25, /26, /26}"
+
+
+class TestEvidenceGuards:
+    def test_min_observations_guard(self):
+        observations = obs({2: 1, 125: 1, 129: 2, 254: 2})
+        assert not _analyze_sub_blocks(
+            observations, min_observations=10
+        ).strictly_heterogeneous
+        assert _analyze_sub_blocks(
+            observations, min_observations=4
+        ).strictly_heterogeneous
+
+    def test_min_group_size_guard(self):
+        # A singleton group trivially aligns (its subnet is a /32).
+        observations = obs({2: 1, 60: 1, 125: 1, 254: 2})
+        assert not _analyze_sub_blocks(
+            observations, min_observations=4
+        ).strictly_heterogeneous
+        assert _analyze_sub_blocks(
+            observations, min_observations=4, min_group_size=1
+        ).strictly_heterogeneous

@@ -1,0 +1,114 @@
+"""Tests for the hierarchy test — including a property-based check of
+the stack algorithm against the quadratic reference."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import AddressRange
+from repro.core import (
+    find_non_hierarchical_pair,
+    groups_hierarchical,
+    groups_non_hierarchical,
+    pairwise_relationships,
+    ranges_hierarchical,
+)
+
+
+def r(first, last):
+    return AddressRange(first, last)
+
+
+class TestRangesHierarchical:
+    def test_empty(self):
+        assert ranges_hierarchical([])
+
+    def test_single(self):
+        assert ranges_hierarchical([r(0, 10)])
+
+    def test_disjoint(self):
+        assert ranges_hierarchical([r(0, 4), r(5, 9), r(20, 30)])
+
+    def test_nested(self):
+        assert ranges_hierarchical([r(0, 100), r(10, 20), r(30, 40)])
+
+    def test_partial_overlap_detected(self):
+        assert not ranges_hierarchical([r(0, 6), r(3, 9)])
+
+    def test_deeply_nested(self):
+        assert ranges_hierarchical([r(0, 100), r(10, 90), r(20, 80)])
+
+    def test_figure_2c_example(self):
+        # Non-hierarchical groups from the paper's Figure 2c: group
+        # boundaries interleave.
+        groups = [r(2, 237), r(126, 254), r(130, 130)]
+        assert not ranges_hierarchical(groups)
+
+    def test_figure_2a_disjoint_example(self):
+        # Figure 2a: addresses .2-.126 vs .130-.237 → disjoint.
+        assert ranges_hierarchical([r(2, 126), r(130, 237)])
+
+    def test_identical_ranges_are_non_hierarchical(self):
+        # Equal ranges require shared endpoint addresses — only load
+        # balancing produces that, never distinct route entries.
+        assert not ranges_hierarchical([r(5, 10), r(5, 10)])
+
+    def test_shared_endpoint_containment(self):
+        assert ranges_hierarchical([r(0, 10), r(0, 5)])
+        assert ranges_hierarchical([r(0, 10), r(5, 10)])
+
+    def test_pair_reported(self):
+        pair = find_non_hierarchical_pair([r(0, 6), r(3, 9)])
+        assert pair is not None
+        assert {pair[0], pair[1]} == {r(0, 6), r(3, 9)}
+
+    def test_no_pair_when_hierarchical(self):
+        assert find_non_hierarchical_pair([r(0, 4), r(5, 9)]) is None
+
+
+ranges_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    ).map(lambda t: AddressRange(min(t), max(t))),
+    max_size=14,
+)
+
+
+class TestAgainstReference:
+    @settings(max_examples=300)
+    @given(ranges_strategy)
+    def test_matches_quadratic_reference(self, ranges):
+        expected = all(
+            a.hierarchical_with(b)
+            for i, a in enumerate(ranges)
+            for b in ranges[i + 1:]
+        )
+        assert ranges_hierarchical(ranges) == expected
+
+    @settings(max_examples=100)
+    @given(ranges_strategy)
+    def test_order_invariance(self, ranges):
+        assert ranges_hierarchical(ranges) == ranges_hierarchical(
+            list(reversed(ranges))
+        )
+
+
+class TestGroupsInterface:
+    def test_groups_hierarchical(self):
+        groups = {"a": [0, 4], "b": [5, 9]}
+        assert groups_hierarchical(groups)
+        assert not groups_non_hierarchical(groups)
+
+    def test_groups_interleaved(self):
+        groups = {"a": [0, 6], "b": [3, 9]}
+        assert groups_non_hierarchical(groups)
+
+    def test_pairwise_labels(self):
+        labels = pairwise_relationships([r(0, 4), r(5, 9), r(2, 7)])
+        kinds = {label for _a, _b, label in labels}
+        assert "disjoint" in kinds
+        assert "non-hierarchical" in kinds
+
+    def test_pairwise_inclusive(self):
+        labels = pairwise_relationships([r(0, 10), r(2, 5)])
+        assert labels[0][2] == "inclusive"

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command(self):
+        args = build_parser().parse_args(
+            ["run", "table1", "fig5", "--profile", "tiny"]
+        )
+        assert args.experiments == ["table1", "fig5"]
+        assert args.profile == "tiny"
+
+    def test_run_requires_experiments(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table1", "--profile", "huge"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig11" in out
+
+    def test_scenario(self, capsys):
+        assert main(["scenario", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "universe_slash24s" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "fig5", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "bogus", "--profile", "tiny"]) == 2
+
+
+class TestJsonExport:
+    def test_json_document(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(
+            ["run", "fig5", "--profile", "tiny", "--json", str(path)]
+        ) == 0
+        import json
+
+        document = json.loads(path.read_text())
+        assert document["profile"] == "tiny"
+        entry = document["experiments"][0]
+        assert entry["experiment"] == "fig5"
+        assert entry["headers"]
+        assert entry["rows"]

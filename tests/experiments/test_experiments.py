@@ -1,0 +1,103 @@
+"""Run every experiment on the tiny profile and validate its output
+contract; spot-check headline shapes where the tiny scenario supports
+them."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    get_workspace,
+    run_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def workspace():
+    return get_workspace("tiny")
+
+
+class TestWorkspace:
+    def test_profiles_known(self):
+        with pytest.raises(KeyError):
+            get_workspace("nonexistent")
+
+    def test_workspace_cached(self, workspace):
+        assert get_workspace("tiny") is workspace
+
+    def test_snapshot_eligibility(self, workspace):
+        eligible = workspace.eligible_slash24s()
+        assert eligible
+        assert len(eligible) <= len(workspace.internet.universe_slash24s)
+
+    def test_confidence_table_built(self, workspace):
+        table = workspace.confidence_table
+        grid = table.grid()
+        assert grid
+        # Whenever the cardinality-1 cells are populated they must show
+        # certainty (single-last-hop /24s are always recognised).
+        card1 = [row for row in grid if row[0] == 1]
+        for _card, _probed, confidence in card1:
+            assert confidence == 1.0
+
+    def test_campaign_ran(self, workspace):
+        campaign = workspace.campaign
+        assert campaign.total > 100
+        assert campaign.probes_used > 0
+
+    def test_path_dataset_structure(self, workspace):
+        dataset = workspace.path_dataset
+        assert dataset
+        for slash24, per_dst in dataset.items():
+            assert len(per_dst) >= 4
+            for dst, routes in per_dst.items():
+                assert slash24.contains_address(dst)
+                assert routes
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_runs(workspace, experiment_id):
+    result = run_experiment(experiment_id, workspace)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
+    assert result.headers
+    rendered = result.render()
+    assert result.title in rendered
+    for header in result.headers:
+        assert header in rendered
+
+
+class TestHeadlineShapes:
+    def test_table1_mostly_homogeneous(self, workspace):
+        campaign = workspace.campaign
+        assert campaign.homogeneous_fraction_of_analyzable() > 0.8
+
+    def test_fig5_aggregation_reduces_blocks(self, workspace):
+        aggregation = workspace.aggregation
+        homogeneous = len(workspace.campaign.lasthop_sets())
+        assert len(aggregation.identical_blocks) < homogeneous
+
+    def test_fig10_final_at_most_identical(self, workspace):
+        aggregation = workspace.aggregation
+        assert len(aggregation.final_blocks) <= len(
+            aggregation.identical_blocks
+        )
+
+    def test_fig3_cardinality_ordering(self, workspace):
+        from repro.analysis import (
+            lasthop_cardinality,
+            subpath_cardinality,
+            traceroute_cardinality,
+        )
+        import numpy as np
+
+        entire, subpath, lasthop = [], [], []
+        for route_sets in workspace.path_dataset.values():
+            entire.append(traceroute_cardinality(route_sets))
+            subpath.append(subpath_cardinality(route_sets))
+            lasthop.append(lasthop_cardinality(route_sets))
+        assert np.median(entire) >= np.median(subpath) >= np.median(lasthop)
+
+    def test_unknown_experiment_rejected(self, workspace):
+        with pytest.raises(KeyError):
+            run_experiment("not-an-experiment", workspace)

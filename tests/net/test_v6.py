@@ -1,0 +1,178 @@
+"""Tests for the IPv6 groundwork (parsing, RFC 5952 formatting, ranges,
+and Hobbit's hierarchy test over 128-bit addresses)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import find_non_hierarchical_pair, ranges_hierarchical
+from repro.net.v6 import (
+    MAX_V6,
+    Prefix6,
+    Range6,
+    V6Error,
+    common_prefix_length_v6,
+    format_v6,
+    group_ranges_v6,
+    measurement_unit_of,
+    parse_v6,
+    v6_groups_hierarchical,
+)
+
+v6_addresses = st.integers(min_value=0, max_value=MAX_V6)
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("::", 0),
+            ("::1", 1),
+            ("1::", 1 << 112),
+            ("2001:db8::1", 0x20010DB8 << 96 | 1),
+            (
+                "2001:db8:0:0:0:0:0:1",
+                0x20010DB8 << 96 | 1,
+            ),
+            ("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff", MAX_V6),
+            ("::ffff:192.0.2.1", 0xFFFF_C000_0201),
+        ],
+    )
+    def test_known_values(self, text, value):
+        assert parse_v6(text) == value
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", ":::", "1::2::3", "12345::", "g::", "1:2:3:4:5:6:7",
+         "1:2:3:4:5:6:7:8:9", "::192.0.2.1:1"],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(V6Error):
+            parse_v6(text)
+
+    def test_uppercase_accepted(self):
+        assert parse_v6("2001:DB8::A") == parse_v6("2001:db8::a")
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,text",
+        [
+            (0, "::"),
+            (1, "::1"),
+            (0x20010DB8 << 96 | 1, "2001:db8::1"),
+            (MAX_V6, "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff"),
+        ],
+    )
+    def test_canonical_forms(self, value, text):
+        assert format_v6(value) == text
+
+    def test_single_zero_group_not_compressed(self):
+        # RFC 5952: '::' only for runs of two or more zero groups.
+        value = parse_v6("2001:db8:0:1:1:1:1:1")
+        assert format_v6(value) == "2001:db8:0:1:1:1:1:1"
+
+    def test_leftmost_longest_run_compressed(self):
+        value = parse_v6("2001:0:0:1:0:0:0:1")
+        assert format_v6(value) == "2001:0:0:1::1"
+
+    @given(v6_addresses)
+    def test_roundtrip(self, value):
+        assert parse_v6(format_v6(value)) == value
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(V6Error):
+            format_v6(MAX_V6 + 1)
+
+
+class TestPrefix6:
+    def test_parse_and_bounds(self):
+        prefix = Prefix6.parse("2001:db8::/32")
+        assert prefix.first == parse_v6("2001:db8::")
+        assert prefix.last == parse_v6("2001:db8:ffff:ffff:ffff:ffff:ffff:ffff")
+
+    def test_contains(self):
+        prefix = Prefix6.parse("2001:db8::/32")
+        assert prefix.contains_address(parse_v6("2001:db8::42"))
+        assert not prefix.contains_address(parse_v6("2001:db9::"))
+
+    def test_interface_bits_rejected(self):
+        with pytest.raises(V6Error):
+            Prefix6(parse_v6("2001:db8::1"), 64)
+
+    def test_of_masks(self):
+        prefix = Prefix6.of(parse_v6("2001:db8::42"), 64)
+        assert prefix == Prefix6.parse("2001:db8::/64")
+
+    def test_measurement_unit(self):
+        unit = measurement_unit_of(parse_v6("2001:db8:0:7::9"))
+        assert str(unit) == "2001:db8:0:7::/64"
+
+    def test_custom_unit_length(self):
+        unit = measurement_unit_of(parse_v6("2001:db8:0:7::9"), 48)
+        assert unit.length == 48
+
+    def test_common_prefix_length(self):
+        a = parse_v6("2001:db8::")
+        b = parse_v6("2001:db8:8000::")
+        assert common_prefix_length_v6(a, b) == 32
+        c = parse_v6("2001:db8:0:8000::")
+        assert common_prefix_length_v6(a, c) == 48
+        assert common_prefix_length_v6(a, a) == 128
+
+
+class TestHierarchyOverV6:
+    def test_ranges_plug_into_hierarchy_test(self):
+        base = parse_v6("2001:db8::")
+        disjoint = [Range6(base, base + 10), Range6(base + 20, base + 30)]
+        assert ranges_hierarchical(disjoint)
+        overlapping = [Range6(base, base + 10), Range6(base + 5, base + 30)]
+        assert not ranges_hierarchical(overlapping)
+        pair = find_non_hierarchical_pair(overlapping)
+        assert pair is not None
+
+    def test_group_ranges_v6(self):
+        base = parse_v6("2001:db8::")
+        groups = {"a": [base + 5, base + 1], "b": [base + 9]}
+        ranges = group_ranges_v6(groups)
+        assert ranges[0].first == base + 1
+        assert ranges[0].last == base + 5
+
+    def test_v6_observations_non_hierarchical(self):
+        """Interleaved per-destination last hops within a /64 are
+        detected as homogeneous, exactly as for IPv4 /24s."""
+        base = parse_v6("2001:db8:0:7::")
+        observations = {
+            base + i: frozenset({1 if i % 2 == 0 else 2})
+            for i in range(8)
+        }
+        assert not v6_groups_hierarchical(observations)
+
+    def test_v6_observations_hierarchical_split(self):
+        """An aligned sub-/64 split stays hierarchical (candidate
+        heterogeneity), as in IPv4."""
+        base = parse_v6("2001:db8:0:7::")
+        half = 1 << 63
+        observations = {
+            base + 1: frozenset({1}),
+            base + 5: frozenset({1}),
+            base + half + 1: frozenset({2}),
+            base + half + 9: frozenset({2}),
+        }
+        assert v6_groups_hierarchical(observations)
+
+    @given(
+        st.lists(
+            st.tuples(v6_addresses, v6_addresses).map(
+                lambda t: Range6(min(t), max(t))
+            ),
+            max_size=10,
+        )
+    )
+    def test_hierarchy_matches_quadratic_reference_on_v6(self, ranges):
+        expected = all(
+            a.hierarchical_with(b)
+            for i, a in enumerate(ranges)
+            for b in ranges[i + 1:]
+        )
+        assert ranges_hierarchical(ranges) == expected

@@ -1,0 +1,104 @@
+"""Tests for the DHCP renumbering substrate."""
+
+import pytest
+
+from repro.netsim.dhcp import (
+    EPOCHS_PER_LEASE,
+    PodLeaseMap,
+    lease_of_epoch,
+    renumbered_address,
+)
+
+
+def _multi_slash24_pod(internet):
+    for pod in internet.pods:
+        if len(pod.slash24s()) >= 3:
+            return pod
+    pytest.fail("no multi-/24 pod")
+
+
+class TestLeaseOfEpoch:
+    def test_epoch_zero(self):
+        assert lease_of_epoch(0) == 0
+
+    def test_within_first_lease(self):
+        assert lease_of_epoch(EPOCHS_PER_LEASE - 1) == 0
+
+    def test_second_lease(self):
+        assert lease_of_epoch(EPOCHS_PER_LEASE) == 1
+
+    def test_negative_epochs(self):
+        assert lease_of_epoch(-1) == -1
+        assert lease_of_epoch(-EPOCHS_PER_LEASE) == -1
+        assert lease_of_epoch(-EPOCHS_PER_LEASE - 1) == -2
+
+
+class TestPodLeaseMap:
+    def test_bijection(self, shared_internet):
+        pod = _multi_slash24_pod(shared_internet)
+        lease_map = PodLeaseMap(pod, lease=3)
+        seen = set()
+        for identity in range(lease_map.identity_count):
+            addr = lease_map.address_of(identity)
+            assert lease_map.identity_of(addr) == identity
+            seen.add(addr)
+        assert len(seen) == lease_map.identity_count
+
+    def test_addresses_stay_inside_pod(self, shared_internet):
+        pod = _multi_slash24_pod(shared_internet)
+        networks = {p.network for p in pod.slash24s()}
+        lease_map = PodLeaseMap(pod, lease=7)
+        for identity in range(0, lease_map.identity_count, 97):
+            addr = lease_map.address_of(identity)
+            assert (addr & 0xFFFFFF00) in networks
+
+    def test_leases_differ(self, shared_internet):
+        pod = _multi_slash24_pod(shared_internet)
+        a = PodLeaseMap(pod, lease=0)
+        b = PodLeaseMap(pod, lease=1)
+        moved = sum(
+            a.address_of(i) != b.address_of(i)
+            for i in range(0, a.identity_count, 13)
+        )
+        assert moved > 0
+
+    def test_identity_of_foreign_address(self, shared_internet):
+        pod = _multi_slash24_pod(shared_internet)
+        lease_map = PodLeaseMap(pod, lease=0)
+        assert lease_map.identity_of(0xC6000001) is None
+
+    def test_rejects_identity_out_of_range(self, shared_internet):
+        pod = _multi_slash24_pod(shared_internet)
+        lease_map = PodLeaseMap(pod, lease=0)
+        with pytest.raises(ValueError):
+            lease_map.address_of(lease_map.identity_count)
+
+
+class TestRenumbering:
+    def test_roundtrip_identity(self, shared_internet):
+        pod = _multi_slash24_pod(shared_internet)
+        old_epoch = 0
+        new_epoch = EPOCHS_PER_LEASE
+        addr = pod.slash24s()[0].network + 10
+        new_addr = renumbered_address(pod, addr, old_epoch, new_epoch)
+        assert new_addr is not None
+        # The identity holding the new address at the new lease is the
+        # identity that held the old address at the old lease.
+        old_map = PodLeaseMap(pod, lease_of_epoch(old_epoch))
+        new_map = PodLeaseMap(pod, lease_of_epoch(new_epoch))
+        assert new_map.identity_of(new_addr) == old_map.identity_of(addr)
+
+    def test_same_lease_same_address(self, shared_internet):
+        pod = _multi_slash24_pod(shared_internet)
+        addr = pod.slash24s()[0].network + 10
+        assert renumbered_address(pod, addr, 0, 1) == addr
+
+    def test_most_addresses_move_across_leases(self, shared_internet):
+        pod = _multi_slash24_pod(shared_internet)
+        slash24 = pod.slash24s()[0]
+        moved = sum(
+            renumbered_address(pod, slash24.network + o, 0, EPOCHS_PER_LEASE)
+            != slash24.network + o
+            for o in range(0, 256, 16)
+        )
+        assert moved >= 8

@@ -1,0 +1,152 @@
+"""Failure-injection tests: extreme scenario knobs must degrade the
+pipeline gracefully, not break it."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import Category, TerminationPolicy, run_campaign
+from repro.netsim import ScenarioConfig, SimulatedInternet, tiny_scenario
+from repro.netsim.config import OrgSpec
+from repro.netsim.orgs import OrgType
+from repro.probing import Prober, identify_lasthops, paris_traceroute, scan
+
+
+def _one_org_config(**org_overrides) -> ScenarioConfig:
+    org = OrgSpec(
+        name="FaultyNet",
+        asn=65100,
+        country="US",
+        city="denver",
+        org_type=OrgType.BROADBAND,
+        num_slash24s=24,
+        host_density_range=(0.3, 0.5),
+        unresponsive_lasthop_fraction=0.0,
+        split24_fraction=0.0,
+    )
+    org = dataclasses.replace(org, **org_overrides)
+    return ScenarioConfig(seed=3, orgs=(org,))
+
+
+class TestAllLasthopsSilent:
+    def test_everything_unresponsive_lasthop(self):
+        config = _one_org_config(unresponsive_lasthop_fraction=1.0)
+        internet = SimulatedInternet.from_config(config)
+        snapshot = scan(internet)
+        campaign = run_campaign(
+            internet, TerminationPolicy(),
+            slash24s=snapshot.eligible_slash24s()[:10],
+            snapshot=snapshot, seed=1, max_destinations_per_slash24=16,
+        )
+        counts = campaign.category_counts()
+        assert counts[Category.SAME_LASTHOP] == 0
+        assert counts[Category.NON_HIERARCHICAL] == 0
+        assert (
+            counts[Category.UNRESPONSIVE_LASTHOP]
+            + counts[Category.TOO_FEW_ACTIVE]
+            == campaign.total
+        )
+
+
+class TestNoHosts:
+    def test_zero_density_yields_empty_snapshot(self):
+        config = _one_org_config(host_density_range=(0.0, 0.0))
+        internet = SimulatedInternet.from_config(config)
+        snapshot = scan(internet)
+        assert snapshot.total_active == 0
+        assert snapshot.eligible_slash24s() == []
+
+
+class TestTotalBlackout:
+    def test_full_sleep_probability(self):
+        config = dataclasses.replace(
+            _one_org_config(), block_sleep_probability=1.0
+        )
+        internet = SimulatedInternet.from_config(config)
+        snapshot = scan(internet)
+        # With every block asleep every epoch, only sleep survivors
+        # answer; eligibility should collapse almost entirely.
+        assert snapshot.total_active < 24 * 256 * 0.05
+
+
+class TestLossless:
+    def test_no_loss_no_rate_limit_clean_traceroutes(self):
+        config = dataclasses.replace(
+            _one_org_config(),
+            router_loss_probability=0.0,
+            host_loss_probability=0.0,
+            lasthop_rate_limit=None,
+            infra_rate_limit=None,
+            block_sleep_probability=0.0,
+        )
+        internet = SimulatedInternet.from_config(config)
+        snapshot = scan(internet)
+        prober = Prober(internet)
+        slash24 = snapshot.eligible_slash24s()[0]
+        dst = snapshot.active_in(slash24)[0]
+        result = paris_traceroute(prober, dst, flow_id=1, retries=0)
+        assert result.reached
+        assert all(hop.address is not None for hop in result.hops)
+
+    def test_lossless_lasthop_identification_always_usable(self):
+        config = dataclasses.replace(
+            _one_org_config(),
+            router_loss_probability=0.0,
+            host_loss_probability=0.0,
+            lasthop_rate_limit=None,
+            infra_rate_limit=None,
+            block_sleep_probability=0.0,
+            custom_ttl_probability=0.0,
+        )
+        internet = SimulatedInternet.from_config(config)
+        snapshot = scan(internet)
+        prober = Prober(internet)
+        slash24 = snapshot.eligible_slash24s()[0]
+        for dst in snapshot.active_in(slash24)[:6]:
+            if not internet.is_host_up(dst, epoch=0):
+                continue
+            result = identify_lasthops(prober, dst)
+            assert result.host_responsive
+            assert result.usable
+
+
+class TestHeavyRateLimiting:
+    def test_tight_lasthop_budget_starves_identification(self):
+        config = dataclasses.replace(
+            _one_org_config(), lasthop_rate_limit=(1.0, 0.01)
+        )
+        internet = SimulatedInternet.from_config(config)
+        snapshot = scan(internet)
+        prober = Prober(internet)
+        slash24 = snapshot.eligible_slash24s()[0]
+        unresponsive = 0
+        for dst in snapshot.active_in(slash24)[:8]:
+            result = identify_lasthops(prober, dst)
+            if result.host_responsive and not result.lasthops:
+                unresponsive += 1
+        # After the single token per bucket is spent, last-hop replies
+        # dry up for most destinations.
+        assert unresponsive >= 4
+
+
+class TestExtremeScale:
+    def test_minimal_org(self):
+        config = _one_org_config(num_slash24s=1)
+        internet = SimulatedInternet.from_config(config)
+        assert len(internet.universe_slash24s) >= 1
+
+    def test_custom_ttls_everywhere_still_measurable(self):
+        config = dataclasses.replace(
+            _one_org_config(), custom_ttl_probability=1.0
+        )
+        internet = SimulatedInternet.from_config(config)
+        snapshot = scan(internet)
+        prober = Prober(internet)
+        slash24 = snapshot.eligible_slash24s()[0]
+        usable = 0
+        for dst in snapshot.active_in(slash24)[:8]:
+            result = identify_lasthops(prober, dst)
+            usable += result.usable
+        # The halving fallback keeps identification working even when
+        # every host uses an uncommon default TTL.
+        assert usable >= 4

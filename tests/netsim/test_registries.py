@@ -1,0 +1,136 @@
+"""Tests for the out-of-band registries: geo database, WHOIS, rDNS and
+ground truth."""
+
+import re
+
+import pytest
+
+from repro.net import Prefix
+from repro.netsim.rdns import (
+    SCHEME_PATTERN_COUNTS,
+    pattern_label,
+    rdns_name,
+    router_rdns_name,
+)
+from repro.netsim.whois import render_krnic_response
+
+
+class TestGeoDatabase:
+    def test_lookup_returns_org(self, shared_internet):
+        slash24 = shared_internet.universe_slash24s[0]
+        record = shared_internet.geodb.lookup(slash24.network)
+        assert record is not None
+        assert record.asn in {65001, 65002, 65003}
+
+    def test_lookup_unallocated(self, shared_internet):
+        assert shared_internet.geodb.lookup(0xC6000001) is None
+
+    def test_asn_histogram(self, shared_internet):
+        slash24s = shared_internet.universe_slash24s[:50]
+        histogram = shared_internet.geodb.asn_histogram(slash24s)
+        assert sum(histogram.values()) == 50
+
+    def test_lookup_prefix(self, shared_internet):
+        slash24 = shared_internet.universe_slash24s[0]
+        record = shared_internet.geodb.lookup_prefix(slash24)
+        assert record is not None
+
+
+class TestWhois:
+    def test_split_slash24_has_multiple_records(self, shared_internet):
+        truth = shared_internet.ground_truth
+        splits = truth.split_slash24s()
+        assert splits
+        records = shared_internet.whois.query(splits[0])
+        assert len(records) > 1
+        assert shared_internet.whois.is_split(splits[0])
+
+    def test_normal_slash24_single_record(self, shared_internet):
+        truth = shared_internet.ground_truth
+        normal = truth.homogeneous_slash24s()[0]
+        records = shared_internet.whois.query(normal)
+        assert len(records) == 1
+        assert not shared_internet.whois.is_split(normal)
+
+    def test_query_address(self, shared_internet):
+        slash24 = shared_internet.universe_slash24s[0]
+        records = shared_internet.whois.query_address(slash24.network + 5)
+        assert len(records) == 1
+
+    def test_render_krnic(self, shared_internet):
+        splits = shared_internet.ground_truth.split_slash24s()
+        records = shared_internet.whois.query(splits[0])
+        text = render_krnic_response(records)
+        assert "IPv4 Address" in text
+        assert "Registration Date" in text
+
+    def test_render_empty(self):
+        assert render_krnic_response([]) == "no records"
+
+
+class TestRdnsSchemes:
+    def test_pattern_counts_match_schemes(self):
+        for scheme, count in SCHEME_PATTERN_COUNTS.items():
+            if scheme == "none":
+                assert count == 0
+                continue
+            for pattern_id in range(min(count, 3)):
+                label = pattern_label(scheme, pattern_id)
+                assert label
+
+    def test_tele2_name_matches_paper_pattern(self):
+        name = rdns_name("tele2-cellular", 0, 0x01020304)
+        assert name is not None
+        assert re.match(r"^m[0-9].+\.cust\.tele2", name)
+
+    def test_names_deterministic(self):
+        a = rdns_name("ec2", 1, 0x01020304)
+        b = rdns_name("ec2", 1, 0x01020304)
+        assert a == b
+
+    def test_pattern_label_is_regexish(self):
+        label = pattern_label("tele2-cellular", 0)
+        assert label.startswith("^")
+
+    def test_none_scheme(self):
+        assert rdns_name("none", 0, 1) is None
+        assert pattern_label("none", 0) is None
+
+    def test_coverage_below_one_leaves_gaps(self):
+        names = [rdns_name("korea-customer", 0, a) for a in range(300)]
+        missing = sum(1 for n in names if n is None)
+        assert missing > 100  # coverage 0.3
+
+    def test_router_names(self):
+        assert router_rdns_name("core-1").endswith("core.transit.example.net")
+
+
+class TestGroundTruth:
+    def test_summary_consistent(self, shared_internet):
+        truth = shared_internet.ground_truth
+        summary = truth.summary()
+        assert summary["universe_slash24s"] == (
+            summary["homogeneous_slash24s"] + summary["split_slash24s"]
+        )
+
+    def test_split_composition(self, shared_internet):
+        truth = shared_internet.ground_truth
+        split = truth.split_slash24s()[0]
+        composition = truth.split_composition(split)
+        assert all(length > 24 for length in composition)
+        assert sum(1 << (32 - l) for l in composition) == 256
+
+    def test_true_blocks_partition_homogeneous(self, shared_internet):
+        truth = shared_internet.ground_truth
+        blocks = truth.true_blocks()
+        covered = [p for block in blocks for p in block.slash24s]
+        assert sorted(covered) == sorted(truth.homogeneous_slash24s())
+
+    def test_lasthop_set_nonempty(self, shared_internet):
+        truth = shared_internet.ground_truth
+        for slash24 in truth.universe_slash24s[:20]:
+            assert truth.lasthop_set_of(slash24)
+
+    def test_big_true_block_exists(self, shared_internet):
+        blocks = shared_internet.ground_truth.true_blocks()
+        assert max(block.size for block in blocks) >= 20

@@ -1,0 +1,91 @@
+"""Tests for per-hop MDA, including agreement with path-level MDA."""
+
+import pytest
+
+from repro.probing import Prober, enumerate_paths
+from repro.probing.mda_perhop import enumerate_hops
+
+
+def _responsive_destinations(internet, snapshot, count=4):
+    found = []
+    for slash24 in snapshot.eligible_slash24s():
+        for addr in snapshot.active_in(slash24):
+            if internet.is_host_up(addr, epoch=0):
+                found.append(addr)
+                break
+        if len(found) >= count:
+            break
+    return found
+
+
+class TestEnumerateHops:
+    def test_reaches_destination(self, internet, snapshot, prober):
+        dst = _responsive_destinations(internet, snapshot, 1)[0]
+        result = enumerate_hops(prober, dst)
+        assert result.reached
+        assert len(result.hops) >= 4
+
+    def test_interfaces_are_routers(self, internet, snapshot, prober):
+        dst = _responsive_destinations(internet, snapshot, 1)[0]
+        result = enumerate_hops(prober, dst)
+        for hop in result.hops:
+            for interface in hop.interfaces:
+                assert internet.topology.by_address(interface) is not None
+
+    def test_unreachable_gives_up(self, internet, prober):
+        result = enumerate_hops(prober, 0xC6000001, max_ttl=12)
+        assert not result.reached
+        assert result.probes_used < 12 * 64  # silent-run cutoff fired
+
+    def test_width_product_bounds_path_count(self, internet, snapshot):
+        dst = _responsive_destinations(internet, snapshot, 1)[0]
+        per_hop = enumerate_hops(Prober(internet), dst)
+        per_path = enumerate_paths(Prober(internet), dst)
+        assert per_path.route_count <= max(per_hop.width_product(), 1) * 2
+
+    def test_agreement_with_path_level(self, internet, snapshot):
+        """Every interface on an enumerated path appears in the per-hop
+        sets at the right depth (modulo losses)."""
+        for dst in _responsive_destinations(internet, snapshot, 3):
+            per_hop = enumerate_hops(Prober(internet), dst)
+            per_path = enumerate_paths(Prober(internet), dst)
+            if not (per_hop.reached and per_path.reached):
+                continue
+            hop_sets = per_hop.interface_sets
+            missing = 0
+            checked = 0
+            for route in per_path.routes:
+                for depth, interface in enumerate(route):
+                    if interface is None or depth >= len(hop_sets):
+                        continue
+                    checked += 1
+                    if interface not in hop_sets[depth]:
+                        missing += 1
+            assert checked > 0
+            # Rate limiting / loss can hide a few interfaces; most must
+            # agree.
+            assert missing <= max(2, checked // 5)
+
+    def test_lasthop_interfaces_match_forwarding(self, internet, snapshot):
+        dst = _responsive_destinations(internet, snapshot, 1)[0]
+        result = enumerate_hops(Prober(internet), dst)
+        if result.lasthop_interfaces:
+            path = internet.forwarder.resolve_path(
+                internet.vantage_address, dst, 0
+            )
+            assert path[-1].address in result.lasthop_interfaces
+
+    def test_probe_cost_cheaper_than_path_level_on_diverse_paths(
+        self, internet, snapshot
+    ):
+        """Across several destinations, per-hop MDA should not cost
+        dramatically more than path-level MDA (it pays per hop, not per
+        combination)."""
+        per_hop_total = 0
+        per_path_total = 0
+        for dst in _responsive_destinations(internet, snapshot, 4):
+            per_hop_total += enumerate_hops(Prober(internet), dst).probes_used
+            per_path_total += enumerate_paths(
+                Prober(internet), dst
+            ).probes_used
+        assert per_hop_total < per_path_total * 3

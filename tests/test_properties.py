@@ -1,0 +1,152 @@
+"""Cross-cutting property-based tests on core invariants.
+
+These complement the per-module suites with deeper hypothesis checks on
+the data structures the whole pipeline leans on.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.aggregation import WeightedGraph, aggregate_identical, mcl
+from repro.aggregation.mcl import _normalize_columns
+from repro.core import round_robin_order
+from repro.net import Prefix, normalize, to_prefixes
+from repro.probing import probes_required
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestToPrefixesMinimality:
+    @settings(max_examples=80)
+    @given(addresses, st.integers(min_value=0, max_value=4095))
+    def test_result_is_minimal(self, first, span):
+        last = min(first + span, (1 << 32) - 1)
+        result = to_prefixes(first, last)
+        # Minimality: no two adjacent prefixes in the result can merge
+        # into a single aligned prefix.
+        for left, right in zip(result, result[1:]):
+            if left.length != right.length:
+                continue
+            parent_len = left.length - 1
+            if parent_len < 0:
+                continue
+            if Prefix.of(left.network, parent_len) == Prefix.of(
+                right.network, parent_len
+            ):
+                pytest.fail(f"{left} and {right} could merge")
+
+    @settings(max_examples=80)
+    @given(addresses, st.integers(min_value=0, max_value=4095))
+    def test_normalize_of_result_is_identity(self, first, span):
+        last = min(first + span, (1 << 32) - 1)
+        result = to_prefixes(first, last)
+        assert normalize(result) == sorted(result)
+
+
+class TestNormalizeIdempotent:
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << 16) - 1),
+                st.integers(min_value=16, max_value=32),
+            ).map(lambda t: Prefix.of(t[0] << 16, t[1])),
+            max_size=20,
+        )
+    )
+    def test_idempotent(self, prefixes):
+        once = normalize(prefixes)
+        assert normalize(once) == once
+
+
+class TestMclInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=11),
+                st.integers(min_value=0, max_value=11),
+                st.floats(min_value=0.05, max_value=1.0),
+            ),
+            max_size=30,
+        )
+    )
+    def test_clusters_partition_vertices(self, edges):
+        graph = WeightedGraph(12)
+        for u, v, w in edges:
+            if u != v and graph.weight(u, v) == 0.0:
+                graph.add_edge(u, v, w)
+        result = mcl(graph.to_sparse(), inflation=2.0)
+        members = sorted(v for c in result.clusters for v in c)
+        assert members == list(range(12))
+
+    def test_normalize_columns_is_stochastic(self):
+        rng = np.random.default_rng(1)
+        dense = rng.random((6, 6))
+        matrix = _normalize_columns(sparse.csc_matrix(dense))
+        sums = np.asarray(matrix.sum(axis=0)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_normalize_repairs_zero_columns(self):
+        matrix = sparse.csc_matrix((3, 3))
+        repaired = _normalize_columns(matrix)
+        sums = np.asarray(repaired.sum(axis=0)).ravel()
+        assert np.allclose(sums, 1.0)
+
+
+class TestAggregationInvariants:
+    @settings(max_examples=40)
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=400),
+            st.frozensets(
+                st.integers(min_value=1, max_value=6), min_size=1, max_size=3
+            ),
+            max_size=40,
+        )
+    )
+    def test_blocks_partition_input(self, raw):
+        sets = {
+            Prefix(0x0A000000 + n * 256, 24): lasthops
+            for n, lasthops in raw.items()
+        }
+        blocks = aggregate_identical(sets)
+        covered = [p for b in blocks for p in b.slash24s]
+        assert sorted(covered) == sorted(sets)
+        for block in blocks:
+            for slash24 in block.slash24s:
+                assert sets[slash24] == block.lasthop_set
+
+
+class TestRoundRobinProperties:
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=255).map(
+                lambda o: 0x0A000000 + o
+            ),
+            min_size=1,
+            max_size=40,
+            unique=True,
+        ),
+        st.integers(min_value=0, max_value=1 << 30),
+    )
+    def test_permutation(self, addrs, seed):
+        order = list(round_robin_order(addrs, random.Random(seed)))
+        assert sorted(order) == sorted(addrs)
+
+
+class TestStoppingRuleProperties:
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.floats(min_value=0.5, max_value=0.999),
+    )
+    def test_monotone_in_both_arguments(self, observed, confidence):
+        base = probes_required(observed, confidence)
+        assert probes_required(observed + 1, confidence) > base
+        assert base > observed  # always probes beyond what was seen

@@ -1,0 +1,42 @@
+"""Tests for repro.util.randomness."""
+
+from repro.util import SeedSpawner
+
+
+class TestSeedSpawner:
+    def test_reproducible(self):
+        assert SeedSpawner(1).seed("x") == SeedSpawner(1).seed("x")
+
+    def test_name_separation(self):
+        spawner = SeedSpawner(1)
+        assert spawner.seed("topology") != spawner.seed("hosts")
+
+    def test_index_separation(self):
+        spawner = SeedSpawner(1)
+        assert spawner.seed("org", 0) != spawner.seed("org", 1)
+
+    def test_root_separation(self):
+        assert SeedSpawner(1).seed("x") != SeedSpawner(2).seed("x")
+
+    def test_random_streams_independent(self):
+        spawner = SeedSpawner(5)
+        a = spawner.random("a").random()
+        b = spawner.random("b").random()
+        assert a != b
+
+    def test_random_stream_reproducible(self):
+        values_1 = [SeedSpawner(5).random("a").random() for _ in range(1)]
+        values_2 = [SeedSpawner(5).random("a").random() for _ in range(1)]
+        assert values_1 == values_2
+
+    def test_numpy_generator(self):
+        spawner = SeedSpawner(5)
+        x = spawner.numpy("n").integers(1 << 30)
+        y = SeedSpawner(5).numpy("n").integers(1 << 30)
+        assert x == y
+
+    def test_child_spawner_differs_from_parent(self):
+        parent = SeedSpawner(5)
+        child = parent.child("org", 7)
+        assert child.seed("x") != parent.seed("x")
+        assert child.seed("x") == SeedSpawner(5).child("org", 7).seed("x")
