@@ -1,11 +1,13 @@
 """Performance benchmarks for the hot components (not tied to a paper
 artifact): probe dispatch, last-hop identification, the hierarchy test,
-the ZMap fast scan and MCL."""
+the ZMap fast scan, MCL, and the campaign executor serial vs sharded
+(``REPRO_BENCH_WORKERS`` workers, default 4)."""
 
+import os
 import random
 
 from repro.aggregation import build_similarity_graph, mcl
-from repro.core import TerminationPolicy, measure_slash24
+from repro.core import TerminationPolicy, measure_slash24, run_campaign
 from repro.core.grouping import group_by_lasthop
 from repro.core.hierarchy import groups_hierarchical
 from repro.probing import (
@@ -84,6 +86,53 @@ def bench_measure_one_slash24(benchmark, workspace):
         )
 
     benchmark(measure)
+
+
+#: /24s measured by the campaign benches (enough to amortise pool
+#: start-up; override with REPRO_BENCH_CAMPAIGN_SLASH24S).
+CAMPAIGN_BENCH_SLASH24S = int(
+    os.environ.get("REPRO_BENCH_CAMPAIGN_SLASH24S", "400")
+)
+
+
+def _campaign_bench_kwargs(workspace):
+    snapshot = workspace.snapshot
+    return dict(
+        policy=TerminationPolicy(
+            confidence_table=workspace.confidence_table
+        ),
+        slash24s=snapshot.eligible_slash24s()[:CAMPAIGN_BENCH_SLASH24S],
+        snapshot=snapshot,
+        seed=workspace.internet.config.seed ^ 0xBE4C,
+        max_destinations_per_slash24=(
+            workspace.profile.campaign_max_destinations
+        ),
+    )
+
+
+def bench_campaign_serial(benchmark, workspace):
+    kwargs = _campaign_bench_kwargs(workspace)
+    result = benchmark.pedantic(
+        run_campaign,
+        args=(workspace.internet,),
+        kwargs=dict(kwargs, workers=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.total == len(kwargs["slash24s"])
+
+
+def bench_campaign_parallel(benchmark, workspace):
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+    kwargs = _campaign_bench_kwargs(workspace)
+    result = benchmark.pedantic(
+        run_campaign,
+        args=(workspace.internet,),
+        kwargs=dict(kwargs, workers=workers),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.total == len(kwargs["slash24s"])
 
 
 def bench_zmap_fast_scan(benchmark, workspace):

@@ -33,6 +33,10 @@ class BlockRttStudy:
     addresses_probed: int = 0
 
     def fraction_above(self, threshold: float) -> float:
+        # A block can legitimately yield no differences (nothing
+        # responded twice); read that as "no large differences seen".
+        if not self.differences_seconds:
+            return 0.0
         return fraction_above(self.differences_seconds, threshold)
 
     @property
@@ -42,6 +46,8 @@ class BlockRttStudy:
         return self.fraction_above(0.5) >= 0.25
 
     def cdf_points(self, xs: Sequence[float]) -> List[tuple]:
+        if not self.differences_seconds:
+            return [(x, 0.0) for x in xs]
         return [(x, cdf_at(self.differences_seconds, x)) for x in xs]
 
 

@@ -53,6 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write results as a JSON document to PATH",
     )
+    _add_workers_argument(run_parser)
 
     scenario_parser = subparsers.add_parser(
         "scenario", help="describe the profile's scenario and ground truth"
@@ -70,6 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser.add_argument(
         "--profile", default=None, choices=sorted(PROFILES)
     )
+    _add_workers_argument(export_parser)
 
     validate_parser = subparsers.add_parser(
         "validate",
@@ -78,7 +80,21 @@ def build_parser() -> argparse.ArgumentParser:
     validate_parser.add_argument(
         "--profile", default=None, choices=sorted(PROFILES)
     )
+    _add_workers_argument(validate_parser)
     return parser
+
+
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the measurement campaign (default: "
+            "$REPRO_WORKERS or 1); results are identical at any count"
+        ),
+    )
 
 
 def command_list() -> int:
@@ -88,9 +104,12 @@ def command_list() -> int:
 
 
 def command_run(
-    ids: List[str], profile: Optional[str], json_path: Optional[str] = None
+    ids: List[str],
+    profile: Optional[str],
+    json_path: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> int:
-    workspace = get_workspace(profile)
+    workspace = get_workspace(profile, workers=workers)
     chosen = experiment_ids() if ids == ["all"] else ids
     failures = 0
     documents = []
@@ -145,10 +164,12 @@ def command_scenario(profile: Optional[str]) -> int:
     return 0
 
 
-def command_export(directory: str, profile: Optional[str]) -> int:
+def command_export(
+    directory: str, profile: Optional[str], workers: Optional[int] = None
+) -> int:
     from .analysis.figures import export_figures
 
-    workspace = get_workspace(profile)
+    workspace = get_workspace(profile, workers=workers)
     workspace.ensure_built()
     written = export_figures(workspace, directory)
     for path in written:
@@ -157,10 +178,12 @@ def command_export(directory: str, profile: Optional[str]) -> int:
     return 0
 
 
-def command_validate(profile: Optional[str]) -> int:
+def command_validate(
+    profile: Optional[str], workers: Optional[int] = None
+) -> int:
     from .analysis.scoring import score_pipeline
 
-    workspace = get_workspace(profile)
+    workspace = get_workspace(profile, workers=workers)
     workspace.ensure_built()
     report = score_pipeline(
         workspace.internet,
@@ -179,13 +202,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return command_list()
     if args.command == "run":
-        return command_run(args.experiments, args.profile, args.json)
+        return command_run(
+            args.experiments, args.profile, args.json, args.workers
+        )
     if args.command == "scenario":
         return command_scenario(args.profile)
     if args.command == "export":
-        return command_export(args.directory, args.profile)
+        return command_export(args.directory, args.profile, args.workers)
     if args.command == "validate":
-        return command_validate(args.profile)
+        return command_validate(args.profile, args.workers)
     raise AssertionError("unreachable")
 
 

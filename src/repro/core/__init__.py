@@ -35,7 +35,13 @@ from .hierarchy import (
     pairwise_relationships,
     ranges_hierarchical,
 )
-from .pipeline import CampaignResult, default_policy, run_campaign
+from .pipeline import (
+    CampaignResult,
+    default_policy,
+    run_campaign,
+    run_campaign_parallel,
+    slash24_seed,
+)
 from .selection import (
     MIN_ACTIVE_ADDRESSES,
     meets_selection_criteria,
@@ -84,6 +90,8 @@ __all__ = [
     "ranges_hierarchical",
     "round_robin_order",
     "run_campaign",
+    "run_campaign_parallel",
+    "slash24_seed",
     "single_lasthop_table",
     "slash26_groups",
     "slash31_pair",

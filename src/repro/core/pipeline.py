@@ -5,21 +5,57 @@ Mirrors the paper's pipeline: take a ZMap activity snapshot, select the
 and summarise into Table 1 counts. The campaign result carries each
 /24's last-hop router set onward to the aggregation stage (Sections 5
 and 6).
+
+The paper measures ~3.37M /24s *independently* — no /24's probing
+touches another /24 — and this module preserves that independence: each
+/24 is measured inside its own deterministic context (RNG stream, probe
+nonce, virtual-clock position, reply-side router state) derived from the
+campaign seed and the prefix alone. A /24's measurement is therefore a
+pure function of the scenario and its context, which buys two things at
+once:
+
+* **order independence** — reordering or truncating the selection list
+  never changes any individual /24's classification; and
+* **parallelism** — shards of the /24 list can run on worker processes
+  and merge into a result byte-identical to the serial run.
 """
 
 from __future__ import annotations
 
+import pickle
 import random
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..net.prefix import Prefix
 from ..netsim.internet import SimulatedInternet
-from ..probing.session import Prober
+from ..probing.session import Prober, ProbeStats
 from ..probing.zmap import ActivitySnapshot, scan
+from ..util.hashing import mix, stable_string_hash
 from .classifier import Category, Slash24Measurement, measure_slash24
 from .confidence import ConfidenceTable
 from .termination import ReprobePolicy, TerminationPolicy
+
+#: Domain separators for the campaign's derived randomness, so the RNG
+#: stream, the probe-nonce stream and the end-of-campaign state never
+#: collide even for the same (seed, prefix).
+_RNG_SALT = stable_string_hash("campaign/slash24-rng")
+_NONCE_SALT = stable_string_hash("campaign/slash24-nonce")
+_END_SALT = stable_string_hash("campaign/end-state")
+
+
+def slash24_seed(campaign_seed: int, slash24: Prefix) -> int:
+    """Stable per-/24 RNG seed: a /24's probing order and flow ids
+    depend only on the campaign seed and its own prefix, never on which
+    (or how many) other /24s were measured before it."""
+    return mix(campaign_seed, _RNG_SALT, slash24.network, slash24.length)
+
+
+def slash24_nonce(campaign_seed: int, slash24: Prefix) -> int:
+    """Stable starting probe nonce for one /24's measurement context."""
+    return mix(campaign_seed, _NONCE_SALT, slash24.network, slash24.length)
 
 
 @dataclass
@@ -30,8 +66,33 @@ class CampaignResult:
     probes_used: int = 0
 
     def add(self, measurement: Slash24Measurement) -> None:
+        """Record one /24's measurement.
+
+        Raises ValueError on a duplicate prefix: silently overwriting
+        the measurement while still accumulating ``probes_used`` would
+        inflate the campaign's headline probe-cost numbers.
+        """
+        if measurement.slash24 in self.measurements:
+            raise ValueError(
+                f"duplicate measurement for {measurement.slash24}: "
+                "each /24 is measured exactly once per campaign"
+            )
         self.measurements[measurement.slash24] = measurement
         self.probes_used += measurement.probes_used
+
+    def merge(self, other: "CampaignResult") -> "CampaignResult":
+        """Fold another (disjoint) result into this one — how per-shard
+        results from parallel workers combine. Returns self."""
+        overlap = self.measurements.keys() & other.measurements.keys()
+        if overlap:
+            sample = ", ".join(str(p) for p in sorted(overlap)[:3])
+            raise ValueError(
+                f"cannot merge campaign results with {len(overlap)} "
+                f"overlapping /24s (e.g. {sample})"
+            )
+        for measurement in other.measurements.values():
+            self.add(measurement)
+        return self
 
     # -- Table 1 ---------------------------------------------------------
 
@@ -78,6 +139,114 @@ class CampaignResult:
         }
 
 
+def _measure_in_context(
+    internet: SimulatedInternet,
+    policy: TerminationPolicy | ReprobePolicy,
+    slash24: Prefix,
+    snapshot_active: List[int],
+    campaign_seed: int,
+    clock_base: float,
+    max_destinations: Optional[int],
+    max_probes: Optional[int] = None,
+) -> Tuple[Slash24Measurement, ProbeStats]:
+    """Measure one /24 inside its own deterministic context."""
+    internet.begin_measurement_context(
+        clock_seconds=clock_base,
+        nonce=slash24_nonce(campaign_seed, slash24),
+    )
+    prober = Prober(internet, max_probes=max_probes)
+    rng = random.Random(slash24_seed(campaign_seed, slash24))
+    measurement = measure_slash24(
+        prober,
+        slash24,
+        snapshot_active,
+        policy,
+        rng,
+        max_destinations=max_destinations,
+    )
+    return measurement, prober.stats
+
+
+# -- parallel shard execution ----------------------------------------------
+
+#: Per-worker-process state, installed once by the pool initializer so
+#: the (heavy) simulator and policy are pickled per worker, not per /24.
+_WORKER_CONTEXT: dict = {}
+
+_ShardItem = Tuple[Prefix, List[int]]
+
+
+def _init_shard_worker(payload: bytes) -> None:
+    _WORKER_CONTEXT["campaign"] = pickle.loads(payload)
+
+
+def _measure_shard(
+    shard: List[_ShardItem],
+) -> Tuple[List[Slash24Measurement], ProbeStats]:
+    """Measure one shard of /24s in the worker's private simulator copy."""
+    internet, policy, seed, clock_base, max_destinations = _WORKER_CONTEXT[
+        "campaign"
+    ]
+    measurements: List[Slash24Measurement] = []
+    stats = ProbeStats()
+    for slash24, snapshot_active in shard:
+        measurement, shard_stats = _measure_in_context(
+            internet, policy, slash24, snapshot_active,
+            seed, clock_base, max_destinations,
+        )
+        measurements.append(measurement)
+        stats.merge(shard_stats)
+    return measurements, stats
+
+
+def _run_shards_parallel(
+    internet: SimulatedInternet,
+    policy: TerminationPolicy | ReprobePolicy,
+    slash24s: List[Prefix],
+    snapshot: ActivitySnapshot,
+    seed: int,
+    clock_base: float,
+    max_destinations: Optional[int],
+    workers: int,
+) -> Optional[Tuple[Dict[Prefix, Slash24Measurement], ProbeStats]]:
+    """Measure the /24 list on a process pool.
+
+    Returns None when the simulator or policy cannot ship to workers
+    (unpicklable scenario, pool start failure) — the caller then falls
+    back to the serial path, which produces identical results anyway.
+    """
+    try:
+        payload = pickle.dumps(
+            (internet, policy, seed, clock_base, max_destinations),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    except Exception:
+        return None
+    shard_count = min(workers, len(slash24s))
+    # Interleave assignment: adjacent prefixes have correlated probing
+    # cost (same organization), so striding balances shard loads.
+    shards = [
+        [(p, snapshot.active_in(p)) for p in slash24s[index::shard_count]]
+        for index in range(shard_count)
+    ]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=shard_count,
+            initializer=_init_shard_worker,
+            initargs=(payload,),
+        ) as pool:
+            outcomes = list(pool.map(_measure_shard, shards))
+    except (OSError, BrokenProcessPool):
+        return None
+    by_prefix: Dict[Prefix, Slash24Measurement] = {}
+    stats = ProbeStats()
+    for measurements, shard_stats in outcomes:
+        for measurement in measurements:
+            by_prefix[measurement.slash24] = measurement
+        stats.merge(shard_stats)
+    return by_prefix, stats
+
+
 def run_campaign(
     internet: SimulatedInternet,
     policy: TerminationPolicy | ReprobePolicy,
@@ -86,30 +255,92 @@ def run_campaign(
     seed: int = 0,
     max_probes: Optional[int] = None,
     max_destinations_per_slash24: Optional[int] = None,
+    workers: int = 1,
 ) -> CampaignResult:
     """Measure every selected /24 and classify it.
 
     When ``slash24s`` is None, all snapshot-eligible /24s are measured
     (the paper's 3.37M, at our scenario's scale).
+
+    ``workers`` > 1 shards the /24 list across a process pool; the
+    merged result (measurements, their insertion order, and probe
+    accounting) is identical to the serial run with the same seed.
+    A campaign-wide ``max_probes`` budget requires serial accounting —
+    when both are given, the campaign runs serially.
     """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     if snapshot is None:
         snapshot = scan(internet)
     if slash24s is None:
         slash24s = snapshot.eligible_slash24s()
-    prober = Prober(internet, max_probes=max_probes)
-    rng = random.Random(seed)
+    slash24s = list(slash24s)
+    clock_base = internet.clock_seconds
     result = CampaignResult()
-    for slash24 in slash24s:
-        measurement = measure_slash24(
-            prober,
-            slash24,
-            snapshot.active_in(slash24),
-            policy,
-            rng,
-            max_destinations=max_destinations_per_slash24,
+    stats = ProbeStats()
+
+    parallel = None
+    if workers > 1 and max_probes is None and slash24s:
+        parallel = _run_shards_parallel(
+            internet, policy, slash24s, snapshot, seed, clock_base,
+            max_destinations_per_slash24, workers,
         )
-        result.add(measurement)
+    if parallel is not None:
+        by_prefix, stats = parallel
+        # Re-insert following the input order so even the measurement
+        # dict's iteration order matches the serial run exactly.
+        for slash24 in slash24s:
+            result.add(by_prefix[slash24])
+        # The parent simulator never saw the workers' probes; account
+        # for them so diagnostics match the serial run.
+        internet.probe_count += stats.sent
+    else:
+        remaining = max_probes
+        for slash24 in slash24s:
+            measurement, measure_stats = _measure_in_context(
+                internet, policy, slash24, snapshot.active_in(slash24),
+                seed, clock_base, max_destinations_per_slash24,
+                max_probes=remaining,
+            )
+            if remaining is not None:
+                remaining -= measure_stats.sent
+            stats.merge(measure_stats)
+            result.add(measurement)
+
+    # Leave the simulator in a deterministic end state — virtual time
+    # advanced by the campaign's (order-invariant) total probe count —
+    # so downstream stages see the same world whether the campaign ran
+    # serially or sharded.
+    internet.begin_measurement_context(
+        clock_seconds=(
+            clock_base + stats.sent * internet.config.probe_clock_step_seconds
+        ),
+        nonce=mix(seed, _END_SALT),
+    )
     return result
+
+
+def run_campaign_parallel(
+    internet: SimulatedInternet,
+    policy: TerminationPolicy | ReprobePolicy,
+    slash24s: Optional[Iterable[Prefix]] = None,
+    snapshot: Optional[ActivitySnapshot] = None,
+    seed: int = 0,
+    max_destinations_per_slash24: Optional[int] = None,
+    workers: int = 4,
+) -> CampaignResult:
+    """Sharded campaign executor: :func:`run_campaign` across a worker
+    pool. Kept as a named entry point for callers that always want the
+    parallel path; results are identical to the serial run."""
+    return run_campaign(
+        internet,
+        policy,
+        slash24s=slash24s,
+        snapshot=snapshot,
+        seed=seed,
+        max_destinations_per_slash24=max_destinations_per_slash24,
+        workers=workers,
+    )
 
 
 def default_policy(confidence_table: ConfidenceTable) -> TerminationPolicy:

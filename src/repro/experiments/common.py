@@ -99,17 +99,34 @@ PROFILES: Dict[str, Profile] = {
 }
 
 DEFAULT_PROFILE_ENV = "REPRO_PROFILE"
+DEFAULT_WORKERS_ENV = "REPRO_WORKERS"
 
 
 def active_profile_name() -> str:
     return os.environ.get(DEFAULT_PROFILE_ENV, "small")
 
 
+def active_worker_count() -> int:
+    """Campaign worker processes: ``REPRO_WORKERS`` (default 1/serial).
+
+    Results are guaranteed identical at any worker count, so this knob
+    only trades wall-clock time for cores."""
+    try:
+        workers = int(os.environ.get(DEFAULT_WORKERS_ENV, "1"))
+    except ValueError:
+        return 1
+    return max(1, workers)
+
+
 class Workspace:
     """Lazily-built shared artifacts for one profile."""
 
-    def __init__(self, profile: Profile) -> None:
+    def __init__(
+        self, profile: Profile, workers: Optional[int] = None
+    ) -> None:
         self.profile = profile
+        #: Worker processes for the measurement campaign (serial when 1).
+        self.workers = workers if workers is not None else active_worker_count()
         self._internet: Optional[SimulatedInternet] = None
         self._snapshot: Optional[ActivitySnapshot] = None
         self._confidence_dataset: Optional[
@@ -225,6 +242,7 @@ class Workspace:
                 max_destinations_per_slash24=(
                     self.profile.campaign_max_destinations
                 ),
+                workers=self.workers,
             )
         return self._campaign
 
@@ -333,15 +351,22 @@ class Workspace:
 _WORKSPACES: Dict[str, Workspace] = {}
 
 
-def get_workspace(profile_name: Optional[str] = None) -> Workspace:
-    """The shared workspace for a profile (built once per process)."""
+def get_workspace(
+    profile_name: Optional[str] = None, workers: Optional[int] = None
+) -> Workspace:
+    """The shared workspace for a profile (built once per process).
+
+    ``workers`` overrides the campaign worker count; safe to change on
+    a cached workspace because results are worker-count-invariant."""
     name = profile_name or active_profile_name()
     if name not in PROFILES:
         raise KeyError(
             f"unknown profile {name!r}; choose from {sorted(PROFILES)}"
         )
     if name not in _WORKSPACES:
-        _WORKSPACES[name] = Workspace(PROFILES[name])
+        _WORKSPACES[name] = Workspace(PROFILES[name], workers=workers)
+    elif workers is not None:
+        _WORKSPACES[name].workers = workers
     return _WORKSPACES[name]
 
 

@@ -35,6 +35,7 @@ def run(workspace: Workspace) -> ExperimentResult:
         max_destinations_per_slash24=(
             workspace.profile.campaign_max_destinations
         ),
+        workers=workspace.workers,
     )
     first_sample_measurements = {
         slash24: first.measurements[slash24] for slash24 in sample

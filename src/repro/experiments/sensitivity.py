@@ -24,7 +24,7 @@ from .common import ExperimentResult, Workspace
 SWEEP_SCALE = 0.02
 
 
-def _campaign_shares(config) -> dict:
+def _campaign_shares(config, workers: int = 1) -> dict:
     internet = SimulatedInternet.from_config(config)
     snapshot = scan(internet)
     campaign = run_campaign(
@@ -33,6 +33,7 @@ def _campaign_shares(config) -> dict:
         snapshot=snapshot,
         seed=config.seed ^ 0x5E5,
         max_destinations_per_slash24=32,
+        workers=workers,
     )
     counts = campaign.category_counts()
     total = max(campaign.total, 1)
@@ -51,7 +52,7 @@ def run(workspace: Workspace) -> ExperimentResult:
     rows: List[List[object]] = []
 
     def add_row(label: str, config) -> None:
-        shares = _campaign_shares(config)
+        shares = _campaign_shares(config, workers=workspace.workers)
         rows.append(
             [
                 label,

@@ -60,6 +60,9 @@ class SimulatedInternet:
         self.probe_count: int = 0
         self._radio = CellularRadioTracker()
         self._nonce = 0
+        #: Rate limiters that consumed tokens since the last context
+        #: switch (kept small so context resets stay O(touched)).
+        self._touched_limiters: set = set()
 
     @classmethod
     def from_config(cls, config: ScenarioConfig) -> "SimulatedInternet":
@@ -86,6 +89,33 @@ class SimulatedInternet:
         if seconds < 0:
             raise ValueError("the clock only moves forward")
         self.clock_seconds += seconds
+
+    # -- measurement contexts ----------------------------------------------
+
+    def begin_measurement_context(
+        self, clock_seconds: float, nonce: int
+    ) -> None:
+        """Reposition the transient probe-side state deterministically.
+
+        Campaign executors measure each /24 inside a context derived
+        from (campaign seed, prefix), which makes the /24's measurement
+        a pure function of the scenario and that context — independent
+        of how many probes any *other* /24 absorbed first, and therefore
+        identical whether /24s run serially, reordered, truncated, or on
+        parallel workers.
+
+        Pins the virtual clock and the probe nonce, and clears the
+        reply-side state that probes accumulate: router token buckets
+        and the cellular radio tracker. Unlike :meth:`advance_clock`,
+        the clock may move backwards here — contexts are detached
+        snapshots of campaign time, not a continuation of it.
+        """
+        self.clock_seconds = float(clock_seconds)
+        self._nonce = int(nonce)
+        self._radio.reset()
+        for limiter in self._touched_limiters:
+            limiter.reset()
+        self._touched_limiters.clear()
 
     # -- probe primitive ----------------------------------------------------
 
@@ -126,10 +156,10 @@ class SimulatedInternet:
         router = path[ttl - 1]
         if not router.responds_to_ttl_exceeded:
             return None
-        if router.rate_limiter is not None and not router.rate_limiter.allow(
-            self.clock_seconds
-        ):
-            return None
+        if router.rate_limiter is not None:
+            self._touched_limiters.add(router.rate_limiter)
+            if not router.rate_limiter.allow(self.clock_seconds):
+                return None
         if stochastic_loss(
             self._built.loss_seed, nonce, self.config.router_loss_probability
         ):

@@ -8,7 +8,7 @@ cap runaway probing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..netsim.icmp import IcmpReply
 from ..netsim.internet import SimulatedInternet
@@ -35,6 +35,26 @@ class ProbeStats:
     @property
     def loss_rate(self) -> float:
         return self.timeouts / self.sent if self.sent else 0.0
+
+    def merge(self, other: "ProbeStats") -> "ProbeStats":
+        """Fold another session's counters into this one (how per-shard
+        campaign accounting is combined). Returns self for chaining."""
+        self.sent += other.sent
+        self.answered += other.answered
+        self.echo_replies += other.echo_replies
+        self.ttl_exceeded += other.ttl_exceeded
+        return self
+
+    def __iadd__(self, other: "ProbeStats") -> "ProbeStats":
+        return self.merge(other)
+
+    @classmethod
+    def merged(cls, parts: Iterable["ProbeStats"]) -> "ProbeStats":
+        """One ProbeStats summing every part (order-insensitive)."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
 
 
 class Prober:
@@ -85,6 +105,11 @@ class Prober:
             if reply is not None:
                 return reply
         return None
+
+    def absorb(self, stats: ProbeStats) -> None:
+        """Account probes sent by another session (e.g. a parallel
+        shard's worker) into this session's totals."""
+        self.stats.merge(stats)
 
     @property
     def probes_sent(self) -> int:

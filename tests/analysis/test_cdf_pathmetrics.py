@@ -35,7 +35,6 @@ class TestCdf:
         assert cdf_at(values, 2) == 0.5
         assert cdf_at(values, 0) == 0.0
         assert cdf_at(values, 10) == 1.0
-        assert cdf_at([], 1) == 0.0
 
     def test_fraction_above(self):
         assert fraction_above([1, 2, 3, 4], 2) == 0.5
@@ -43,9 +42,39 @@ class TestCdf:
     def test_percentile(self):
         assert percentile([1, 2, 3, 4, 5], 50) == 3
 
-    def test_percentile_empty_raises(self):
-        with pytest.raises(ValueError):
-            percentile([], 50)
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda: percentile([], 50),
+            lambda: cdf_at([], 1),
+            lambda: fraction_above([], 1),
+            lambda: cdf_table([], [1.0]),
+        ],
+    )
+    def test_empty_inputs_raise_value_error(self, call):
+        with pytest.raises(ValueError, match="empty"):
+            call()
+
+    def test_percentile_rejects_bad_q(self):
+        with pytest.raises(ValueError, match="outside"):
+            percentile([1, 2], 150)
+
+    def test_numpy_array_inputs_accepted(self):
+        import numpy as np
+
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        assert cdf_at(values, 2) == 0.5
+        assert fraction_above(values, 2) == 0.5
+        assert percentile(values, 50) == 2.5
+        with pytest.raises(ValueError, match="empty"):
+            cdf_at(np.array([]), 1)
+
+    def test_multidimensional_input_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            cdf_at([[1, 2], [3, 4]], 2)
+
+    def test_histogram_fractions_empty(self):
+        assert histogram_fractions([]) == []
 
     def test_cdf_table(self):
         table = cdf_table([1, 2, 3], [1.5, 3.0])
