@@ -51,6 +51,9 @@ class AggregationOutcome:
     #: Final blocks: confirmed clusters merged, everything else as-is.
     final_blocks: List[AggregatedBlock] = field(default_factory=list)
     reprobe_probes_used: int = 0
+    #: Every reprobed /24 → (last-hop set, probes); feed back in as
+    #: ``reprobe_preload`` to replay validation without re-probing.
+    reprobe_records: Dict[Prefix, tuple] = field(default_factory=dict)
 
     # -- summaries ---------------------------------------------------------
 
@@ -78,12 +81,15 @@ def run_aggregation(
     max_pairs_per_cluster: int = DEFAULT_MAX_PAIRS,
     rule: Optional[SimilarityRule] = None,
     seed: int = 0,
+    reprobe_preload: Optional[Mapping[Prefix, tuple]] = None,
 ) -> AggregationOutcome:
     """Run the aggregation flow over measured last-hop sets.
 
     ``internet`` and ``snapshot`` are only needed when ``validate`` is
     True (reprobing goes back on the wire). With ``inflation`` unset the
-    Section 6.4 sweep picks it.
+    Section 6.4 sweep picks it. ``reprobe_preload`` replays recorded
+    reprobe results (see :attr:`AggregationOutcome.reprobe_records`)
+    instead of probing, with identical accounting.
     """
     identical_blocks = aggregate_identical(lasthop_sets)
     graph = build_similarity_graph(identical_blocks)
@@ -116,7 +122,9 @@ def run_aggregation(
             raise ValueError(
                 "validation requires the internet and the snapshot"
             )
-        reprober = Reprober(internet, snapshot, seed=seed)
+        reprober = Reprober(
+            internet, snapshot, seed=seed, preload=reprobe_preload
+        )
         rng = random.Random(seed)
         for index, cluster in multi_clusters:
             blocks = [identical_blocks[i] for i in cluster]
@@ -128,6 +136,7 @@ def run_aggregation(
             if validation.homogeneous:
                 confirmed[index] = cluster
         outcome.reprobe_probes_used = reprober.probes_used
+        outcome.reprobe_records = reprober.records()
 
     outcome.final_blocks = _merge_confirmed(identical_blocks, confirmed)
     return outcome

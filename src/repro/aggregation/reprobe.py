@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.classifier import measure_slash24
 from ..core.termination import ReprobePolicy
@@ -57,7 +57,12 @@ class ClusterValidation:
 
 class Reprober:
     """Re-measures /24s with the modified strategy, caching results so
-    a /24 in many sampled pairs is probed once."""
+    a /24 in many sampled pairs is probed once.
+
+    ``preload`` replays previously recorded results: a /24 found there
+    is never re-probed, but its recorded probe count is still charged to
+    :attr:`probes_used`, so replayed and fresh runs report identical
+    accounting (the measurement-store warm path depends on this)."""
 
     def __init__(
         self,
@@ -65,6 +70,9 @@ class Reprober:
         snapshot: ActivitySnapshot,
         seed: int = 0,
         max_destinations: Optional[int] = None,
+        preload: Optional[
+            Mapping[Prefix, Tuple[FrozenSet[int], int]]
+        ] = None,
     ) -> None:
         self.prober = Prober(internet)
         self.snapshot = snapshot
@@ -72,11 +80,22 @@ class Reprober:
         self.rng = random.Random(seed)
         self.max_destinations = max_destinations
         self._cache: Dict[Prefix, FrozenSet[int]] = {}
+        self._preload = dict(preload) if preload else {}
+        self._probe_counts: Dict[Prefix, int] = {}
+        self._replayed_probes = 0
 
     def lasthop_set(self, slash24: Prefix) -> FrozenSet[int]:
         cached = self._cache.get(slash24)
         if cached is not None:
             return cached
+        replay = self._preload.get(slash24)
+        if replay is not None:
+            lasthops, probes = replay
+            self._cache[slash24] = lasthops
+            self._probe_counts[slash24] = probes
+            self._replayed_probes += probes
+            return lasthops
+        probes_before = self.prober.probes_sent
         measurement = measure_slash24(
             self.prober,
             slash24,
@@ -87,11 +106,21 @@ class Reprober:
         )
         result = measurement.lasthop_set
         self._cache[slash24] = result
+        self._probe_counts[slash24] = (
+            self.prober.probes_sent - probes_before
+        )
         return result
+
+    def records(self) -> Dict[Prefix, Tuple[FrozenSet[int], int]]:
+        """Every measured-or-replayed /24 → (last-hop set, probes)."""
+        return {
+            slash24: (lasthops, self._probe_counts[slash24])
+            for slash24, lasthops in self._cache.items()
+        }
 
     @property
     def probes_used(self) -> int:
-        return self.prober.probes_sent
+        return self.prober.probes_sent + self._replayed_probes
 
 
 def validate_cluster(

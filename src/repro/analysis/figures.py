@@ -17,6 +17,7 @@ from ..aggregation.identical import size_histogram, top_blocks
 from ..net.blockset import visualization_coordinates
 from .adjacency import adjacent_pair_lengths, extremes_lengths
 from .cdf import empirical_cdf, histogram_fractions
+from ..util.fileio import atomic_writer
 from .pathmetrics import (
     lasthop_cardinality,
     subpath_cardinality,
@@ -169,7 +170,7 @@ def export_figures(workspace, directory: str) -> List[str]:
     for figure_id, builder in FIGURE_BUILDERS.items():
         for name, series in builder(workspace).items():
             path = os.path.join(directory, f"{name}.csv")
-            with open(path, "w", newline="") as handle:
+            with atomic_writer(path, newline="") as handle:
                 writer = csv.writer(handle)
                 for row in series:
                     writer.writerow(row)

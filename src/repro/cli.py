@@ -4,13 +4,19 @@ Examples::
 
     hobbit-repro list
     hobbit-repro run table1 --profile small
-    hobbit-repro run all --profile tiny
+    hobbit-repro run all --profile tiny --store ./hobbit-store
     hobbit-repro scenario --profile small
+    hobbit-repro store info ./hobbit-store
+
+A ``--store PATH`` (or ``$REPRO_STORE``) attaches the on-disk
+measurement store: campaigns checkpoint each completed /24 there and
+warm reruns replay stored measurements instead of re-probing.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -21,7 +27,10 @@ from .experiments import (
     get_workspace,
     run_experiment,
 )
+from .util.fileio import atomic_writer
 from .util.tables import render_table
+
+STORE_ACTIONS = ("ls", "info", "verify", "gc")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write results as a JSON document to PATH",
     )
     _add_workers_argument(run_parser)
+    _add_store_argument(run_parser)
 
     scenario_parser = subparsers.add_parser(
         "scenario", help="describe the profile's scenario and ground truth"
@@ -72,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", default=None, choices=sorted(PROFILES)
     )
     _add_workers_argument(export_parser)
+    _add_store_argument(export_parser)
 
     validate_parser = subparsers.add_parser(
         "validate",
@@ -81,6 +92,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", default=None, choices=sorted(PROFILES)
     )
     _add_workers_argument(validate_parser)
+    _add_store_argument(validate_parser)
+
+    store_parser = subparsers.add_parser(
+        "store", help="inspect and maintain a measurement store"
+    )
+    store_parser.add_argument(
+        "action",
+        choices=STORE_ACTIONS,
+        help=(
+            "ls: stored campaigns; info: store summary; verify: full "
+            "checksum pass; gc: compact segments, dropping damaged and "
+            "superseded records"
+        ),
+    )
+    store_parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="store directory (default: $REPRO_STORE)",
+    )
     return parser
 
 
@@ -97,6 +128,18 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help=(
+            "measurement-store directory for checkpoint/resume and "
+            "warm-cache reruns (default: $REPRO_STORE or none)"
+        ),
+    )
+
+
 def command_list() -> int:
     rows = [[experiment_id] for experiment_id in experiment_ids()]
     print(render_table(["experiment"], rows))
@@ -108,8 +151,9 @@ def command_run(
     profile: Optional[str],
     json_path: Optional[str] = None,
     workers: Optional[int] = None,
+    store: Optional[str] = None,
 ) -> int:
-    workspace = get_workspace(profile, workers=workers)
+    workspace = get_workspace(profile, workers=workers, store_path=store)
     chosen = experiment_ids() if ids == ["all"] else ids
     failures = 0
     documents = []
@@ -138,9 +182,9 @@ def command_run(
             }
         )
     if json_path is not None:
-        import json
-
-        with open(json_path, "w") as handle:
+        # Atomic write: a killed run must never leave a truncated JSON
+        # document for a later analysis step to trip over.
+        with atomic_writer(json_path) as handle:
             json.dump(
                 {
                     "profile": workspace.profile.name,
@@ -165,11 +209,14 @@ def command_scenario(profile: Optional[str]) -> int:
 
 
 def command_export(
-    directory: str, profile: Optional[str], workers: Optional[int] = None
+    directory: str,
+    profile: Optional[str],
+    workers: Optional[int] = None,
+    store: Optional[str] = None,
 ) -> int:
     from .analysis.figures import export_figures
 
-    workspace = get_workspace(profile, workers=workers)
+    workspace = get_workspace(profile, workers=workers, store_path=store)
     workspace.ensure_built()
     written = export_figures(workspace, directory)
     for path in written:
@@ -179,11 +226,13 @@ def command_export(
 
 
 def command_validate(
-    profile: Optional[str], workers: Optional[int] = None
+    profile: Optional[str],
+    workers: Optional[int] = None,
+    store: Optional[str] = None,
 ) -> int:
     from .analysis.scoring import score_pipeline
 
-    workspace = get_workspace(profile, workers=workers)
+    workspace = get_workspace(profile, workers=workers, store_path=store)
     workspace.ensure_built()
     report = score_pipeline(
         workspace.internet,
@@ -197,20 +246,76 @@ def command_validate(
     return 0
 
 
+def command_store(action: str, path: Optional[str]) -> int:
+    from .experiments import active_store_path
+    from .store import MeasurementStore
+
+    root = path or active_store_path()
+    if root is None:
+        print(
+            "no store given: pass a path or set $REPRO_STORE",
+            file=sys.stderr,
+        )
+        return 2
+    with MeasurementStore(root) as store:
+        if action == "info":
+            rows = [[key, value] for key, value in store.info().items()]
+            print(render_table(["quantity", "value"], rows, title="store"))
+            return 0
+        if action == "ls":
+            rows = [
+                [fingerprint[:16], group["records"], group["probes"]]
+                for fingerprint, group in sorted(store.campaigns().items())
+            ]
+            print(render_table(
+                ["campaign", "slash24s", "probes"], rows,
+                title=f"campaigns in {store.root}",
+            ))
+            return 0
+        if action == "verify":
+            report = store.verify()
+            print(f"records ok: {report.records_ok}")
+            for corrupt in report.corrupt:
+                print(
+                    f"CORRUPT {corrupt.segment} @ {corrupt.offset}: "
+                    f"{corrupt.reason}"
+                )
+            if report.truncated_tails:
+                print(
+                    f"truncated tails: {report.truncated_tails} "
+                    "(trimmed on next open)"
+                )
+            return 0 if report.clean else 1
+        if action == "gc":
+            dropped = store.gc()
+            print(
+                f"dropped {dropped['dropped_corrupt']} damaged and "
+                f"{dropped['dropped_superseded']} superseded records; "
+                f"{len(store)} records remain"
+            )
+            return 0
+    raise AssertionError("unreachable")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return command_list()
     if args.command == "run":
         return command_run(
-            args.experiments, args.profile, args.json, args.workers
+            args.experiments, args.profile, args.json, args.workers,
+            args.store,
         )
     if args.command == "scenario":
         return command_scenario(args.profile)
     if args.command == "export":
-        return command_export(args.directory, args.profile, args.workers)
+        return command_export(
+            args.directory, args.profile, args.workers, args.store
+        )
     if args.command == "validate":
-        return command_validate(args.profile, args.workers)
+        return command_validate(args.profile, args.workers, args.store)
+    if args.command == "store":
+        return command_store(args.action, args.path)
     raise AssertionError("unreachable")
 
 

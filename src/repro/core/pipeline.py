@@ -24,14 +24,14 @@ from __future__ import annotations
 
 import pickle
 import random
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..net.prefix import Prefix
 from ..netsim.internet import SimulatedInternet
-from ..probing.session import Prober, ProbeStats
+from ..probing.session import ProbeBudgetExceeded, Prober, ProbeStats
 from ..probing.zmap import ActivitySnapshot, scan
 from ..util.hashing import mix, stable_string_hash
 from .classifier import Category, Slash24Measurement, measure_slash24
@@ -138,6 +138,33 @@ class CampaignResult:
             if m.lasthop_set
         }
 
+    # -- lookup & slicing (resume code and tests go through these rather
+    # -- than reaching into the measurements dict) -----------------------
+
+    def __contains__(self, slash24: Prefix) -> bool:
+        return slash24 in self.measurements
+
+    def __iter__(self):
+        """Iterate measurements in insertion (campaign input) order."""
+        return iter(self.measurements.values())
+
+    def get(self, slash24: Prefix) -> Optional[Slash24Measurement]:
+        return self.measurements.get(slash24)
+
+    def prefixes(self) -> List[Prefix]:
+        return list(self.measurements)
+
+    def subset(self, slash24s: Iterable[Prefix]) -> "CampaignResult":
+        """A new result holding just the given /24s (KeyError if one was
+        never measured); ``probes_used`` re-accumulates from the kept
+        measurements."""
+        result = CampaignResult()
+        for slash24 in slash24s:
+            if slash24 not in self.measurements:
+                raise KeyError(f"{slash24} was not measured in this campaign")
+            result.add(self.measurements[slash24])
+        return result
+
 
 def _measure_in_context(
     internet: SimulatedInternet,
@@ -175,6 +202,12 @@ _WORKER_CONTEXT: dict = {}
 
 _ShardItem = Tuple[Prefix, List[int]]
 
+#: Chunks submitted per worker. More chunks than workers keeps the pool
+#: load-balanced *and* bounds what a killed run can lose: with a store
+#: attached, every completed chunk's /24s are already checkpointed, so
+#: at most ``workers`` in-flight chunks of work are repeated on resume.
+_CHUNKS_PER_WORKER = 4
+
 
 def _init_shard_worker(payload: bytes) -> None:
     _WORKER_CONTEXT["campaign"] = pickle.loads(payload)
@@ -182,21 +215,22 @@ def _init_shard_worker(payload: bytes) -> None:
 
 def _measure_shard(
     shard: List[_ShardItem],
-) -> Tuple[List[Slash24Measurement], ProbeStats]:
-    """Measure one shard of /24s in the worker's private simulator copy."""
+) -> List[Tuple[Slash24Measurement, ProbeStats]]:
+    """Measure one chunk of /24s in the worker's private simulator copy.
+
+    Returns per-/24 (measurement, probe stats) pairs in chunk order, so
+    the parent can checkpoint each /24 with its own probe accounting.
+    """
     internet, policy, seed, clock_base, max_destinations = _WORKER_CONTEXT[
         "campaign"
     ]
-    measurements: List[Slash24Measurement] = []
-    stats = ProbeStats()
-    for slash24, snapshot_active in shard:
-        measurement, shard_stats = _measure_in_context(
+    return [
+        _measure_in_context(
             internet, policy, slash24, snapshot_active,
             seed, clock_base, max_destinations,
         )
-        measurements.append(measurement)
-        stats.merge(shard_stats)
-    return measurements, stats
+        for slash24, snapshot_active in shard
+    ]
 
 
 def _run_shards_parallel(
@@ -208,8 +242,12 @@ def _run_shards_parallel(
     clock_base: float,
     max_destinations: Optional[int],
     workers: int,
+    cache=None,
 ) -> Optional[Tuple[Dict[Prefix, Slash24Measurement], ProbeStats]]:
     """Measure the /24 list on a process pool.
+
+    Completed chunks are checkpointed into ``cache`` (when given) as
+    they arrive, so a killed run preserves everything already merged.
 
     Returns None when the simulator or policy cannot ship to workers
     (unpicklable scenario, pool start failure) — the caller then falls
@@ -223,28 +261,63 @@ def _run_shards_parallel(
     except Exception:
         return None
     shard_count = min(workers, len(slash24s))
+    chunk_count = min(len(slash24s), shard_count * _CHUNKS_PER_WORKER)
     # Interleave assignment: adjacent prefixes have correlated probing
-    # cost (same organization), so striding balances shard loads.
-    shards = [
-        [(p, snapshot.active_in(p)) for p in slash24s[index::shard_count]]
-        for index in range(shard_count)
+    # cost (same organization), so striding balances chunk loads.
+    chunks = [
+        [(p, snapshot.active_in(p)) for p in slash24s[index::chunk_count]]
+        for index in range(chunk_count)
     ]
+    by_prefix: Dict[Prefix, Slash24Measurement] = {}
+    stats = ProbeStats()
     try:
         with ProcessPoolExecutor(
             max_workers=shard_count,
             initializer=_init_shard_worker,
             initargs=(payload,),
         ) as pool:
-            outcomes = list(pool.map(_measure_shard, shards))
+            future_chunks = {
+                pool.submit(_measure_shard, chunk): chunk for chunk in chunks
+            }
+            for future in as_completed(future_chunks):
+                pairs = future.result()
+                chunk = future_chunks[future]
+                for (slash24, active), (measurement, pair_stats) in zip(
+                    chunk, pairs
+                ):
+                    if cache is not None:
+                        cache.record(slash24, active, measurement, pair_stats)
+                    by_prefix[slash24] = measurement
+                    stats.merge(pair_stats)
     except (OSError, BrokenProcessPool):
         return None
-    by_prefix: Dict[Prefix, Slash24Measurement] = {}
-    stats = ProbeStats()
-    for measurements, shard_stats in outcomes:
-        for measurement in measurements:
-            by_prefix[measurement.slash24] = measurement
-        stats.merge(shard_stats)
     return by_prefix, stats
+
+
+def _bind_store(
+    store,
+    internet: SimulatedInternet,
+    policy,
+    seed: int,
+    clock_base: float,
+    max_destinations: Optional[int],
+):
+    """Turn the ``store`` argument into a campaign-bound cache.
+
+    Accepts a :class:`repro.store.MeasurementStore` (or anything with
+    its ``get``/``put`` surface), or an already-bound object exposing
+    ``lookup``/``record``. Imported lazily so :mod:`repro.core` never
+    depends on :mod:`repro.store` at import time.
+    """
+    if store is None:
+        return None
+    if hasattr(store, "lookup") and hasattr(store, "record"):
+        return store
+    from ..store.campaign import CampaignCache
+
+    return CampaignCache.bind(
+        store, internet, policy, seed, clock_base, max_destinations
+    )
 
 
 def run_campaign(
@@ -256,6 +329,7 @@ def run_campaign(
     max_probes: Optional[int] = None,
     max_destinations_per_slash24: Optional[int] = None,
     workers: int = 1,
+    store=None,
 ) -> CampaignResult:
     """Measure every selected /24 and classify it.
 
@@ -267,6 +341,18 @@ def run_campaign(
     accounting) is identical to the serial run with the same seed.
     A campaign-wide ``max_probes`` budget requires serial accounting —
     when both are given, the campaign runs serially.
+
+    ``store`` attaches an on-disk measurement store (see
+    :mod:`repro.store`): every completed /24 is durably checkpointed,
+    and /24s whose full input fingerprint (scenario, policy, seed,
+    clock base, destination cap, snapshot active list) is already
+    stored are replayed without sending a single probe. A run killed
+    mid-campaign therefore resumes where it left off, and the resumed
+    result — measurements, insertion order and ``probes_used`` — is
+    bit-identical to an uninterrupted run. Replayed /24s still advance
+    the deterministic end-of-campaign clock (downstream stages see the
+    same world), but ``internet.probe_count`` only counts probes this
+    run actually sent.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -276,32 +362,69 @@ def run_campaign(
         slash24s = snapshot.eligible_slash24s()
     slash24s = list(slash24s)
     clock_base = internet.clock_seconds
+    cache = _bind_store(
+        store, internet, policy, seed, clock_base,
+        max_destinations_per_slash24,
+    )
+    cached: Dict[Prefix, Tuple[Slash24Measurement, ProbeStats]] = {}
+    pending: List[Prefix] = []
+    if cache is not None:
+        for slash24 in slash24s:
+            hit = cache.lookup(slash24, snapshot.active_in(slash24))
+            if hit is not None:
+                cached[slash24] = hit
+            else:
+                pending.append(slash24)
+    else:
+        pending = slash24s
     result = CampaignResult()
     stats = ProbeStats()
 
     parallel = None
-    if workers > 1 and max_probes is None and slash24s:
+    if workers > 1 and max_probes is None and pending:
         parallel = _run_shards_parallel(
-            internet, policy, slash24s, snapshot, seed, clock_base,
-            max_destinations_per_slash24, workers,
+            internet, policy, pending, snapshot, seed, clock_base,
+            max_destinations_per_slash24, workers, cache=cache,
         )
     if parallel is not None:
-        by_prefix, stats = parallel
+        by_prefix, fresh_stats = parallel
+        stats.merge(fresh_stats)
+        for _, replay_stats in cached.values():
+            stats.merge(replay_stats)
         # Re-insert following the input order so even the measurement
         # dict's iteration order matches the serial run exactly.
         for slash24 in slash24s:
-            result.add(by_prefix[slash24])
+            if slash24 in cached:
+                result.add(cached[slash24][0])
+            else:
+                result.add(by_prefix[slash24])
         # The parent simulator never saw the workers' probes; account
-        # for them so diagnostics match the serial run.
-        internet.probe_count += stats.sent
+        # for them so diagnostics match the serial run. (Replayed /24s
+        # sent nothing, so they don't count here.)
+        internet.probe_count += fresh_stats.sent
     else:
         remaining = max_probes
         for slash24 in slash24s:
-            measurement, measure_stats = _measure_in_context(
-                internet, policy, slash24, snapshot.active_in(slash24),
-                seed, clock_base, max_destinations_per_slash24,
-                max_probes=remaining,
-            )
+            if slash24 in cached:
+                measurement, measure_stats = cached[slash24]
+                # Replays charge the budget exactly what the original
+                # measurement cost, so a budgeted run stops at the same
+                # point whether or not its prefix was cached.
+                if remaining is not None and measure_stats.sent > remaining:
+                    raise ProbeBudgetExceeded(
+                        f"budget exhausted replaying {slash24} from store"
+                    )
+            else:
+                measurement, measure_stats = _measure_in_context(
+                    internet, policy, slash24, snapshot.active_in(slash24),
+                    seed, clock_base, max_destinations_per_slash24,
+                    max_probes=remaining,
+                )
+                if cache is not None:
+                    cache.record(
+                        slash24, snapshot.active_in(slash24),
+                        measurement, measure_stats,
+                    )
             if remaining is not None:
                 remaining -= measure_stats.sent
             stats.merge(measure_stats)
@@ -328,6 +451,7 @@ def run_campaign_parallel(
     seed: int = 0,
     max_destinations_per_slash24: Optional[int] = None,
     workers: int = 4,
+    store=None,
 ) -> CampaignResult:
     """Sharded campaign executor: :func:`run_campaign` across a worker
     pool. Kept as a named entry point for callers that always want the
@@ -340,6 +464,7 @@ def run_campaign_parallel(
         seed=seed,
         max_destinations_per_slash24=max_destinations_per_slash24,
         workers=workers,
+        store=store,
     )
 
 

@@ -7,6 +7,7 @@ from .common import (
     Profile,
     Workspace,
     active_profile_name,
+    active_store_path,
     get_workspace,
 )
 from .registry import EXPERIMENTS, experiment_ids, run_experiment
@@ -18,6 +19,7 @@ __all__ = [
     "Profile",
     "Workspace",
     "active_profile_name",
+    "active_store_path",
     "experiment_ids",
     "get_workspace",
     "run_experiment",

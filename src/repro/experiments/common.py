@@ -9,6 +9,13 @@ shares one build per profile.
 Profiles scale the scenario: ``tiny`` for tests, ``small`` for bench
 runs, ``paper`` for the fullest (still scaled-down) reproduction. Select
 with the ``REPRO_PROFILE`` environment variable.
+
+A workspace can also run in *persistent* mode (``--store PATH`` /
+``REPRO_STORE``): the measurement campaign checkpoints each /24 into an
+on-disk :class:`repro.store.MeasurementStore`, and the probe-heavy
+training datasets are cached there as artifacts — so experiments and
+benches share one campaign across processes, and a warm rerun of the
+classification experiments is pure re-analysis with zero probing.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from ..netsim import (
 )
 from ..probing import ActivitySnapshot, Prober, enumerate_paths, scan
 from ..probing.traceroute import Route
+from ..util.hashing import mix, stable_string_hash
 from ..util.tables import render_table
 
 
@@ -100,10 +108,16 @@ PROFILES: Dict[str, Profile] = {
 
 DEFAULT_PROFILE_ENV = "REPRO_PROFILE"
 DEFAULT_WORKERS_ENV = "REPRO_WORKERS"
+DEFAULT_STORE_ENV = "REPRO_STORE"
 
 
 def active_profile_name() -> str:
     return os.environ.get(DEFAULT_PROFILE_ENV, "small")
+
+
+def active_store_path() -> Optional[str]:
+    """Persistent store directory: ``REPRO_STORE`` (default: none)."""
+    return os.environ.get(DEFAULT_STORE_ENV) or None
 
 
 def active_worker_count() -> int:
@@ -122,11 +136,19 @@ class Workspace:
     """Lazily-built shared artifacts for one profile."""
 
     def __init__(
-        self, profile: Profile, workers: Optional[int] = None
+        self,
+        profile: Profile,
+        workers: Optional[int] = None,
+        store_path: Optional[str] = None,
     ) -> None:
         self.profile = profile
         #: Worker processes for the measurement campaign (serial when 1).
         self.workers = workers if workers is not None else active_worker_count()
+        #: Persistent-store directory (None → in-process caching only).
+        self.store_path = (
+            store_path if store_path is not None else active_store_path()
+        )
+        self._store = None
         self._internet: Optional[SimulatedInternet] = None
         self._snapshot: Optional[ActivitySnapshot] = None
         self._confidence_dataset: Optional[
@@ -164,6 +186,55 @@ class Workspace:
             self._snapshot = scan(self.internet)
         return self._snapshot
 
+    # -- persistent store --------------------------------------------------
+
+    @property
+    def store(self):
+        """The on-disk measurement store, or None (in-process only)."""
+        if self.store_path is None:
+            return None
+        if self._store is None:
+            from ..store import MeasurementStore
+
+            self._store = MeasurementStore(self.store_path)
+        return self._store
+
+    def _artifact_key(self, name: str, params: tuple) -> str:
+        from ..store import artifact_key, scenario_fingerprint
+
+        return artifact_key(
+            scenario_fingerprint(self.internet.config), name, params
+        )
+
+    def _load_artifact(self, name: str, params: tuple):
+        """A cached artifact's payload, or None (no store / cache miss)."""
+        if self.store is None:
+            return None
+        document = self.store.get(self._artifact_key(name, params))
+        return None if document is None else document["value"]
+
+    def _save_artifact(self, name: str, params: tuple, value) -> None:
+        if self.store is None:
+            return
+        from ..store import artifact_record
+
+        self.store.put(
+            artifact_record(self._artifact_key(name, params), value)
+        )
+
+    def _probe_context(self, label: str, clock_seconds: float) -> None:
+        """Bracket a probe-heavy artifact build in a deterministic
+        measurement context, making the build — and the transient state
+        it leaves behind — a pure function of (scenario, build
+        parameters, clock position). That purity is what lets a cached
+        artifact replay restore the exact post-build world."""
+        self.internet.begin_measurement_context(
+            clock_seconds=clock_seconds,
+            nonce=mix(
+                self.internet.config.seed, stable_string_hash(label)
+            ),
+        )
+
     def eligible_slash24s(self) -> List[Prefix]:
         return self.snapshot.eligible_slash24s()
 
@@ -189,8 +260,28 @@ class Workspace:
     @property
     def confidence_dataset(self) -> Dict[Prefix, Dict[int, FrozenSet[int]]]:
         """Exhaustive per-address last-hop observations over a sample of
-        ground-truth homogeneous /24s."""
+        ground-truth homogeneous /24s.
+
+        The build is bracketed in a deterministic probe context and, in
+        persistent mode, cached in the store — a warm workspace replays
+        it (and the clock position it left) without sending a probe.
+        """
         if self._confidence_dataset is None:
+            clock_start = self.internet.clock_seconds
+            params = (self.profile.confidence_sample_slash24s, clock_start)
+            cached = self._load_artifact("confidence-dataset", params)
+            if cached is not None:
+                from ..store import observation_map_from_dict
+
+                self._confidence_dataset = observation_map_from_dict(
+                    cached["dataset"]
+                )
+                self._probe_context(
+                    "workspace/confidence-dataset/end",
+                    float(cached["clock_seconds_after"]),
+                )
+                return self._confidence_dataset
+            self._probe_context("workspace/confidence-dataset", clock_start)
             rng = random.Random(self.internet.config.seed ^ 0xC0FFEE)
             truth = self.internet.ground_truth
             candidates = [
@@ -212,7 +303,26 @@ class Workspace:
                 )
                 if len(measurement.observations) >= 4:
                     dataset[slash24] = dict(measurement.observations)
+            # Canonical order so downstream RNG-driven sampling sees the
+            # same iteration whether the dataset is fresh or restored.
+            from ..store.codec import canonical_dataset_order
+
+            dataset = canonical_dataset_order(dataset)
             self._confidence_dataset = dataset
+            self._probe_context(
+                "workspace/confidence-dataset/end",
+                self.internet.clock_seconds,
+            )
+            if self.store is not None:
+                from ..store import observation_map_to_dict
+
+                self._save_artifact(
+                    "confidence-dataset", params,
+                    {
+                        "dataset": observation_map_to_dict(dataset),
+                        "clock_seconds_after": self.internet.clock_seconds,
+                    },
+                )
         return self._confidence_dataset
 
     @property
@@ -243,6 +353,7 @@ class Workspace:
                     self.profile.campaign_max_destinations
                 ),
                 workers=self.workers,
+                store=self.store,
             )
         return self._campaign
 
@@ -250,14 +361,53 @@ class Workspace:
 
     @property
     def aggregation(self) -> AggregationOutcome:
+        """Sections 5-6 end to end; the probe-heavy part is the cluster
+        validation reprobing, whose per-/24 results are cached in the
+        store (with their probe accounting) so a warm workspace replays
+        the validation — same outcome, same reported probe counts —
+        without going back on the wire."""
         if self._aggregation is None:
-            self._aggregation = run_aggregation(
-                self.campaign.lasthop_sets(),
+            lasthop_sets = self.campaign.lasthop_sets()
+            clock_start = self.internet.clock_seconds
+            params = (self.profile.reprobe_max_pairs, clock_start)
+            cached = self._load_artifact("aggregation-reprobe", params)
+            preload = None
+            if cached is not None:
+                preload = {
+                    Prefix.parse(slash24): (
+                        frozenset(entry["lasthops"]), int(entry["probes"])
+                    )
+                    for slash24, entry in cached["reprobe"].items()
+                }
+            self._probe_context("workspace/aggregation", clock_start)
+            outcome = run_aggregation(
+                lasthop_sets,
                 internet=self.internet,
                 snapshot=self.snapshot,
                 max_pairs_per_cluster=self.profile.reprobe_max_pairs,
                 seed=self.internet.config.seed ^ 0xA66,
+                reprobe_preload=preload,
             )
+            if cached is not None:
+                clock_after = float(cached["clock_seconds_after"])
+            else:
+                clock_after = self.internet.clock_seconds
+                self._save_artifact(
+                    "aggregation-reprobe", params,
+                    {
+                        "reprobe": {
+                            str(slash24): {
+                                "lasthops": sorted(lasthops),
+                                "probes": probes,
+                            }
+                            for slash24, (lasthops, probes)
+                            in outcome.reprobe_records.items()
+                        },
+                        "clock_seconds_after": clock_after,
+                    },
+                )
+            self._probe_context("workspace/aggregation/end", clock_after)
+            self._aggregation = outcome
         return self._aggregation
 
     # -- full-path traceroute dataset (Sections 3.1, 7.1) ---------------------
@@ -266,8 +416,30 @@ class Workspace:
     def path_dataset(self) -> Dict[Prefix, Dict[int, FrozenSet[Route]]]:
         """/24 → destination → set of routes, over a sample of
         ground-truth homogeneous /24s, tracing every sampled active
-        address with MDA."""
+        address with MDA.
+
+        Bracketed and cached exactly like :attr:`confidence_dataset`.
+        """
         if self._path_dataset is None:
+            clock_start = self.internet.clock_seconds
+            params = (
+                self.profile.path_dataset_slash24s,
+                self.profile.path_dataset_max_addresses,
+                clock_start,
+            )
+            cached = self._load_artifact("path-dataset", params)
+            if cached is not None:
+                from ..store import route_dataset_from_dict
+
+                self._path_dataset = route_dataset_from_dict(
+                    cached["dataset"]
+                )
+                self._probe_context(
+                    "workspace/path-dataset/end",
+                    float(cached["clock_seconds_after"]),
+                )
+                return self._path_dataset
+            self._probe_context("workspace/path-dataset", clock_start)
             truth = self.internet.ground_truth
             eligible = set(self.eligible_slash24s())
             candidates = [p for p in eligible if truth.is_homogeneous(p)]
@@ -305,7 +477,23 @@ class Workspace:
                         per_dst[dst] = frozenset(mp.routes)
                 if len(per_dst) >= 4:
                     dataset[slash24] = per_dst
+            from ..store.codec import canonical_dataset_order
+
+            dataset = canonical_dataset_order(dataset)
             self._path_dataset = dataset
+            self._probe_context(
+                "workspace/path-dataset/end", self.internet.clock_seconds
+            )
+            if self.store is not None:
+                from ..store import route_dataset_to_dict
+
+                self._save_artifact(
+                    "path-dataset", params,
+                    {
+                        "dataset": route_dataset_to_dict(dataset),
+                        "clock_seconds_after": self.internet.clock_seconds,
+                    },
+                )
         return self._path_dataset
 
     # -- strict heterogeneity (Section 4.2) -----------------------------------
@@ -315,28 +503,67 @@ class Workspace:
         """Section 4.2 analyses of the "different but hierarchical"
         /24s, re-probed exhaustively first (the strict criteria need
         full sub-block evidence, not the early-terminated campaign
-        observations)."""
+        observations).
+
+        The exhaustive observations are cached in the store; the
+        sub-block analysis itself is pure CPU, so a warm workspace
+        rebuilds identical analyses with zero probes."""
         if self._strict_het is None:
             import random as _random
 
             from ..core.classifier import Category
 
+            hierarchical = self.campaign.by_category(Category.HIERARCHICAL)
+            clock_start = self.internet.clock_seconds
+            params = (self.profile.campaign_max_destinations, clock_start)
+            cached = self._load_artifact("strict-het-observations", params)
+            if cached is not None:
+                from ..store import observation_map_from_dict
+
+                observed = observation_map_from_dict(cached["observations"])
+                self._strict_het = {
+                    slash24: analyze_sub_blocks(observations)
+                    for slash24, observations in observed.items()
+                }
+                self._probe_context(
+                    "workspace/strict-het/end",
+                    float(cached["clock_seconds_after"]),
+                )
+                return self._strict_het
+            self._probe_context("workspace/strict-het", clock_start)
+            from ..store.codec import canonical_dataset_order
+
             prober = Prober(self.internet)
             rng = _random.Random(self.internet.config.seed ^ 0x5E7)
-            analyses: Dict[Prefix, SubBlockAnalysis] = {}
-            for measurement in self.campaign.by_category(
-                Category.HIERARCHICAL
-            ):
+            observed: Dict[Prefix, Dict[int, FrozenSet[int]]] = {}
+            for measurement in hierarchical:
                 slash24 = measurement.slash24
                 full = measure_slash24(
                     prober, slash24, self.snapshot.active_in(slash24),
                     ExhaustivePolicy(), rng,
                     max_destinations=self.profile.campaign_max_destinations,
                 )
-                observations = (
+                observed[slash24] = dict(
                     full.observations or measurement.observations
                 )
-                analyses[slash24] = analyze_sub_blocks(observations)
+            observed = canonical_dataset_order(observed)
+            analyses = {
+                slash24: analyze_sub_blocks(observations)
+                for slash24, observations in observed.items()
+            }
+            self._probe_context(
+                "workspace/strict-het/end", self.internet.clock_seconds
+            )
+            if self.store is not None:
+                from ..store import observation_map_to_dict
+
+                self._save_artifact(
+                    "strict-het-observations", params,
+                    {
+                        "observations": observation_map_to_dict(observed),
+                        "clock_seconds_after": self.internet.clock_seconds,
+                    },
+                )
             self._strict_het = analyses
         return self._strict_het
 
@@ -352,21 +579,33 @@ _WORKSPACES: Dict[str, Workspace] = {}
 
 
 def get_workspace(
-    profile_name: Optional[str] = None, workers: Optional[int] = None
+    profile_name: Optional[str] = None,
+    workers: Optional[int] = None,
+    store_path: Optional[str] = None,
 ) -> Workspace:
     """The shared workspace for a profile (built once per process).
 
     ``workers`` overrides the campaign worker count; safe to change on
-    a cached workspace because results are worker-count-invariant."""
+    a cached workspace because results are worker-count-invariant.
+    ``store_path`` attaches a persistent measurement store; it only
+    affects artifacts not yet built in this process."""
     name = profile_name or active_profile_name()
     if name not in PROFILES:
         raise KeyError(
             f"unknown profile {name!r}; choose from {sorted(PROFILES)}"
         )
     if name not in _WORKSPACES:
-        _WORKSPACES[name] = Workspace(PROFILES[name], workers=workers)
-    elif workers is not None:
-        _WORKSPACES[name].workers = workers
+        _WORKSPACES[name] = Workspace(
+            PROFILES[name], workers=workers, store_path=store_path
+        )
+    else:
+        if workers is not None:
+            _WORKSPACES[name].workers = workers
+        if store_path is not None and (
+            store_path != _WORKSPACES[name].store_path
+        ):
+            _WORKSPACES[name].store_path = store_path
+            _WORKSPACES[name]._store = None
     return _WORKSPACES[name]
 
 

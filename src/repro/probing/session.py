@@ -8,7 +8,7 @@ cap runaway probing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Dict, Iterable, Mapping, Optional
 
 from ..netsim.icmp import IcmpReply
 from ..netsim.internet import SimulatedInternet
@@ -55,6 +55,26 @@ class ProbeStats:
         for part in parts:
             total.merge(part)
         return total
+
+    # -- serialization (the on-disk measurement store keeps each /24's
+    # -- probe accounting next to its measurement) ------------------------
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "sent": self.sent,
+            "answered": self.answered,
+            "echo_replies": self.echo_replies,
+            "ttl_exceeded": self.ttl_exceeded,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "ProbeStats":
+        return cls(
+            sent=int(data["sent"]),
+            answered=int(data["answered"]),
+            echo_replies=int(data["echo_replies"]),
+            ttl_exceeded=int(data["ttl_exceeded"]),
+        )
 
 
 class Prober:

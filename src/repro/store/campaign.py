@@ -1,0 +1,100 @@
+"""Binding between a campaign run and the measurement store.
+
+:class:`CampaignCache` pins one campaign's full input fingerprint
+(scenario, policy, seed, clock base, destination cap) and exposes just
+the two operations the campaign executor needs: look up a /24's cached
+measurement, and durably checkpoint a freshly measured one. Keys also
+cover the /24's snapshot active list, so a snapshot taken at a different
+epoch can never satisfy a lookup.
+
+The executor takes any object with this interface (it never imports
+this package at module level), which keeps ``repro.core`` free of a
+dependency cycle on ``repro.store``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..core.classifier import Slash24Measurement
+from ..net.prefix import Prefix
+from ..probing.session import ProbeStats
+from .codec import KIND_SLASH24, decode_slash24_record, slash24_record
+from .fingerprint import (
+    campaign_fingerprint,
+    measurement_key,
+    policy_fingerprint,
+    scenario_fingerprint,
+)
+from .store import MeasurementStore
+
+
+class CampaignCache:
+    """One campaign's view of a store: lookups and checkpoints."""
+
+    def __init__(
+        self, store: MeasurementStore, campaign: str
+    ) -> None:
+        self.store = store
+        self.campaign = campaign
+        #: Cache hits / fresh checkpoints this run (diagnostics and the
+        #: warm-run assertions in CI).
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def bind(
+        cls,
+        store: MeasurementStore,
+        internet,
+        policy,
+        seed: int,
+        clock_base: float,
+        max_destinations: Optional[int],
+    ) -> "CampaignCache":
+        """Fingerprint a campaign configuration against a store."""
+        campaign = campaign_fingerprint(
+            scenario_fingerprint(internet.config),
+            policy_fingerprint(policy),
+            seed,
+            clock_base,
+            max_destinations,
+        )
+        return cls(store, campaign)
+
+    def key_for(self, slash24: Prefix, active: Sequence[int]) -> str:
+        return measurement_key(self.campaign, slash24, active)
+
+    def lookup(
+        self, slash24: Prefix, active: Sequence[int]
+    ) -> Optional[Tuple[Slash24Measurement, ProbeStats]]:
+        """The /24's cached (measurement, probe stats), if stored."""
+        document = self.store.get(self.key_for(slash24, active))
+        if document is None or document.get("kind") != KIND_SLASH24:
+            self.misses += 1
+            return None
+        measurement, stats = decode_slash24_record(document)
+        if measurement.slash24 != slash24:
+            # A (vanishingly unlikely) key collision or a hand-edited
+            # store; never serve another /24's data.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return measurement, stats
+
+    def record(
+        self,
+        slash24: Prefix,
+        active: Sequence[int],
+        measurement: Slash24Measurement,
+        stats: ProbeStats,
+    ) -> None:
+        """Durably checkpoint one freshly measured /24."""
+        self.store.put(
+            slash24_record(
+                self.key_for(slash24, active),
+                self.campaign,
+                measurement,
+                stats,
+            )
+        )

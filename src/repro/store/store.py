@@ -1,0 +1,289 @@
+"""The on-disk measurement store.
+
+Layout of a store directory::
+
+    <root>/
+      store.json            # format version + shard count (atomic write)
+      segments/
+        shard-00.seg ...    # append-only record journals (see .segment)
+
+Records are spread across a fixed set of segment files by their key, so
+long campaigns never funnel every append through one ever-growing file
+and ``gc`` compaction rewrites stay bounded. Opening a store scans every
+segment once: truncated tails (interrupted appends) are trimmed in
+place, damaged interior records are remembered for ``verify``/``gc``,
+and an in-memory key index of intact records is built. Appends fsync
+per record, so a /24 checkpointed by a campaign survives any subsequent
+crash.
+
+The store is a single-writer design (one process appends at a time);
+readers of a quiescent store are always safe because records are
+immutable once written.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, Iterator, List, Optional, Tuple
+
+from ..util.fileio import atomic_write_text, atomic_writer
+from ..util.hashing import stable_string_hash
+from . import segment as segmod
+from .codec import (
+    KIND_ARTIFACT,
+    KIND_SLASH24,
+    frame_record,
+)
+from .segment import CorruptRecord
+
+FORMAT_VERSION = 1
+DEFAULT_SHARDS = 16
+META_FILE = "store.json"
+SEGMENT_DIR = "segments"
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of a full checksum pass over every segment."""
+
+    records_ok: int = 0
+    corrupt: List[CorruptRecord] = field(default_factory=list)
+    truncated_tails: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt and not self.truncated_tails
+
+
+class StoreError(RuntimeError):
+    """The store directory is unusable (bad metadata, wrong version)."""
+
+
+class MeasurementStore:
+    """Append-only, sharded, checksummed key → record store."""
+
+    def __init__(self, root: str, shards: int = DEFAULT_SHARDS) -> None:
+        self.root = os.path.abspath(root)
+        self.segment_dir = os.path.join(self.root, SEGMENT_DIR)
+        self._append_handles: Dict[int, IO[bytes]] = {}
+        #: key → (shard index, decoded document). Records are small at
+        #: our scenario scales, so the index keeps documents in memory;
+        #: the files remain the durable source of truth.
+        self._index: Dict[str, Tuple[int, Dict[str, Any]]] = {}
+        self.corrupt_records: List[CorruptRecord] = []
+        #: Appends observed since open, per kind (diagnostics).
+        self.appended: Dict[str, int] = {}
+        #: Duplicate keys seen while scanning (later record wins); gc
+        #: compaction drops the superseded ones.
+        self.superseded = 0
+        self.shards = self._init_layout(shards)
+        self._load()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _init_layout(self, shards: int) -> int:
+        os.makedirs(self.segment_dir, exist_ok=True)
+        meta_path = os.path.join(self.root, META_FILE)
+        if os.path.exists(meta_path):
+            try:
+                with open(meta_path) as handle:
+                    meta = json.load(handle)
+                version = meta["version"]
+                shards = int(meta["shards"])
+            except (OSError, ValueError, KeyError) as error:
+                raise StoreError(
+                    f"unreadable store metadata at {meta_path}: {error}"
+                ) from error
+            if version != FORMAT_VERSION:
+                raise StoreError(
+                    f"store format v{version} at {self.root}; this build "
+                    f"reads v{FORMAT_VERSION}"
+                )
+            return shards
+        if shards < 1:
+            raise ValueError("a store needs at least one shard")
+        atomic_write_text(
+            meta_path,
+            json.dumps({"version": FORMAT_VERSION, "shards": shards}) + "\n",
+        )
+        return shards
+
+    def _segment_path(self, shard: int) -> str:
+        return os.path.join(self.segment_dir, f"shard-{shard:02x}.seg")
+
+    def _shard_of(self, key: str) -> int:
+        try:
+            prefix = int(key[:8], 16)
+        except ValueError:
+            # Fingerprint keys are hex, but the store accepts any string
+            # key — fall back to hashing the whole thing.
+            prefix = stable_string_hash(key)
+        return prefix % self.shards
+
+    def _load(self) -> None:
+        for shard in range(self.shards):
+            path = self._segment_path(shard)
+            if not os.path.exists(path):
+                continue
+            outcome = segmod.recover(path)
+            self.corrupt_records.extend(outcome.corrupt)
+            for offset, document in outcome.records:
+                key = document.get("key")
+                if not isinstance(key, str):
+                    self.corrupt_records.append(
+                        CorruptRecord(path, offset, "record missing key")
+                    )
+                    continue
+                if key in self._index:
+                    self.superseded += 1
+                self._index[key] = (shard, document)
+
+    def close(self) -> None:
+        for handle in self._append_handles.values():
+            handle.close()
+        self._append_handles.clear()
+
+    def __enter__(self) -> "MeasurementStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reads ------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        entry = self._index.get(key)
+        return entry[1] if entry is not None else None
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def documents(self) -> Iterator[Dict[str, Any]]:
+        for _, document in self._index.values():
+            yield document
+
+    # -- writes -----------------------------------------------------------
+
+    def put(self, document: Dict[str, Any]) -> None:
+        """Durably append one record (document must carry a ``key``)."""
+        key = document["key"]
+        shard = self._shard_of(key)
+        handle = self._append_handles.get(shard)
+        if handle is None:
+            handle = open(self._segment_path(shard), "ab")
+            self._append_handles[shard] = handle
+        segmod.append(handle, frame_record(document))
+        if key in self._index:
+            self.superseded += 1
+        self._index[key] = (shard, document)
+        kind = str(document.get("kind", "?"))
+        self.appended[kind] = self.appended.get(kind, 0) + 1
+
+    # -- maintenance ------------------------------------------------------
+
+    def verify(self) -> VerifyReport:
+        """Re-scan every segment from disk, checking all checksums."""
+        report = VerifyReport()
+        for shard in range(self.shards):
+            path = self._segment_path(shard)
+            if not os.path.exists(path):
+                continue
+            outcome = segmod.scan(path)
+            report.records_ok += len(outcome.records)
+            report.corrupt.extend(outcome.corrupt)
+            if outcome.has_truncated_tail:
+                report.truncated_tails += 1
+        return report
+
+    def gc(self) -> Dict[str, int]:
+        """Compact every segment: drop damaged and superseded records.
+
+        Each shard is rewritten to a temporary file and atomically
+        swapped in, so a crash mid-compaction leaves either the old or
+        the new segment, never a mix.
+        """
+        self.close()
+        dropped_corrupt = 0
+        dropped_superseded = 0
+        for shard in range(self.shards):
+            path = self._segment_path(shard)
+            if not os.path.exists(path):
+                continue
+            outcome = segmod.scan(path)
+            # Keep only each key's final occurrence, in original order.
+            final: Dict[str, int] = {}
+            for offset, document in outcome.records:
+                key = document.get("key")
+                if isinstance(key, str):
+                    final[key] = offset
+            kept_offsets = set(final.values())
+            kept = [
+                (offset, document)
+                for offset, document in outcome.records
+                if offset in kept_offsets
+            ]
+            dropped_corrupt += len(outcome.corrupt)
+            dropped_superseded += len(outcome.records) - len(kept)
+            if len(kept) == len(outcome.records) and not outcome.corrupt \
+                    and not outcome.has_truncated_tail:
+                continue
+            with atomic_writer(path, "wb") as handle:
+                for _, document in kept:
+                    handle.write(frame_record(document))
+        self.corrupt_records = []
+        self.superseded = 0
+        # Rebuild the index from the compacted files.
+        self._index.clear()
+        self._load()
+        return {
+            "dropped_corrupt": dropped_corrupt,
+            "dropped_superseded": dropped_superseded,
+        }
+
+    # -- reporting --------------------------------------------------------
+
+    def info(self) -> Dict[str, object]:
+        sizes = [
+            os.path.getsize(self._segment_path(shard))
+            for shard in range(self.shards)
+            if os.path.exists(self._segment_path(shard))
+        ]
+        kinds: Dict[str, int] = {}
+        for document in self.documents():
+            kind = str(document.get("kind", "?"))
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return {
+            "path": self.root,
+            "format_version": FORMAT_VERSION,
+            "shards": self.shards,
+            "segments": len(sizes),
+            "bytes": sum(sizes),
+            "records": len(self._index),
+            "slash24_records": kinds.get(KIND_SLASH24, 0),
+            "artifact_records": kinds.get(KIND_ARTIFACT, 0),
+            "campaigns": len(self.campaigns()),
+            "corrupt_records": len(self.corrupt_records),
+            "superseded_records": self.superseded,
+        }
+
+    def campaigns(self) -> Dict[str, Dict[str, int]]:
+        """Campaign fingerprint → {records, probes} over /24 records."""
+        groups: Dict[str, Dict[str, int]] = {}
+        for document in self.documents():
+            if document.get("kind") != KIND_SLASH24:
+                continue
+            fingerprint = str(document.get("campaign", "?"))
+            group = groups.setdefault(
+                fingerprint, {"records": 0, "probes": 0}
+            )
+            group["records"] += 1
+            group["probes"] += int(document["stats"]["sent"])
+        return groups

@@ -1,5 +1,12 @@
-"""Shared utilities: deterministic hashing, seeding and table rendering."""
+"""Shared utilities: deterministic hashing, seeding, atomic file
+writing and table rendering."""
 
+from .fileio import (
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+    fsync_handle,
+)
 from .hashing import (
     MASK64,
     mix,
@@ -14,7 +21,11 @@ from .tables import format_percent, render_series, render_table
 __all__ = [
     "MASK64",
     "SeedSpawner",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_writer",
     "format_percent",
+    "fsync_handle",
     "mix",
     "mix_choice",
     "mix_to_unit",

@@ -1,0 +1,70 @@
+"""Crash-safe file writing.
+
+Results files (JSON documents, CSV series, store segments and metadata)
+must never be observable in a half-written state: a killed run that
+leaves a truncated results file is worse than no file, because a later
+analysis step will happily parse garbage. Every writer here follows the
+same discipline — write the full content to a temporary file *in the
+destination directory* (so the rename cannot cross filesystems), flush
+and fsync it, then :func:`os.replace` it over the destination, which is
+atomic on POSIX and Windows alike.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from typing import IO, Iterator, Optional
+
+
+def fsync_handle(handle: IO) -> None:
+    """Flush Python and OS buffers for an open file handle."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+@contextlib.contextmanager
+def atomic_writer(
+    path: str,
+    mode: str = "w",
+    encoding: Optional[str] = None,
+    newline: Optional[str] = None,
+) -> Iterator[IO]:
+    """Context manager yielding a handle that atomically replaces
+    ``path`` on clean exit and leaves ``path`` untouched on error.
+
+    ``mode`` must be a write mode ("w" or "wb").
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_writer requires mode 'w' or 'wb', not {mode!r}")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    handle = os.fdopen(
+        fd, mode, encoding=encoding if "b" not in mode else None,
+        newline=newline if "b" not in mode else None,
+    )
+    try:
+        yield handle
+        fsync_handle(handle)
+        handle.close()
+        os.replace(tmp_path, path)
+    except BaseException:
+        handle.close()
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_path)
+        raise
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Atomically write ``data`` to ``path`` (all-or-nothing)."""
+    with atomic_writer(path, "wb") as handle:
+        handle.write(data)
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Atomically write ``text`` to ``path`` (all-or-nothing)."""
+    atomic_write_bytes(path, text.encode(encoding))

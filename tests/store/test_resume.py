@@ -1,0 +1,256 @@
+"""Checkpoint/resume: a campaign killed mid-run and resumed from its
+store must be bit-identical to an uninterrupted run — measurements,
+insertion order, and probe accounting — serially and in parallel."""
+
+import pytest
+
+from repro.core import TerminationPolicy, run_campaign
+from repro.netsim import SimulatedInternet, tiny_scenario
+from repro.probing import scan
+from repro.probing.session import ProbeBudgetExceeded
+from repro.store import MeasurementStore
+from repro.store.codec import HEADER_SIZE
+
+SEED = 5
+MAX_DESTINATIONS = 48
+
+
+def _fresh_internet():
+    internet = SimulatedInternet.from_config(tiny_scenario(seed=11))
+    snapshot = scan(internet)
+    return internet, snapshot
+
+
+def _run(internet, snapshot, slash24s, workers=1, store=None, max_probes=None):
+    return run_campaign(
+        internet,
+        TerminationPolicy(),
+        slash24s=slash24s,
+        snapshot=snapshot,
+        seed=SEED,
+        max_probes=max_probes,
+        max_destinations_per_slash24=MAX_DESTINATIONS,
+        workers=workers,
+        store=store,
+    )
+
+
+@pytest.fixture(scope="module")
+def selection():
+    internet, snapshot = _fresh_internet()
+    return snapshot.eligible_slash24s()[:16]
+
+
+@pytest.fixture(scope="module")
+def baseline(selection):
+    """The uninterrupted, storeless run every variant must reproduce."""
+    internet, snapshot = _fresh_internet()
+    result = _run(internet, snapshot, selection)
+    return result, internet.probe_count, internet.clock_seconds
+
+
+def assert_bit_identical(result, internet, baseline):
+    base_result, base_probes, base_clock = baseline
+    assert result.measurements == base_result.measurements
+    assert list(result.measurements) == list(base_result.measurements)
+    assert result.probes_used == base_result.probes_used
+    assert internet.clock_seconds == base_clock
+
+
+class CrashInjected(RuntimeError):
+    pass
+
+
+class FlakyStore:
+    """Store wrapper whose ``put`` dies after a budget of checkpoints —
+    the injected fault simulating a run killed mid-campaign."""
+
+    def __init__(self, store, puts_allowed):
+        self.store = store
+        self.puts_left = puts_allowed
+
+    def get(self, key):
+        return self.store.get(key)
+
+    def put(self, document):
+        if self.puts_left <= 0:
+            raise CrashInjected("injected crash during checkpoint")
+        self.puts_left -= 1
+        self.store.put(document)
+
+
+class TestColdAndWarm:
+    def test_cold_run_matches_storeless(self, selection, baseline, tmp_path):
+        internet, snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            result = _run(internet, snapshot, selection, store=store)
+        assert_bit_identical(result, internet, baseline)
+        assert internet.probe_count == baseline[1]
+
+    def test_warm_run_sends_zero_probes(self, selection, baseline, tmp_path):
+        internet, snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            _run(internet, snapshot, selection, store=store)
+        warm_internet, warm_snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            result = _run(warm_internet, warm_snapshot, selection, store=store)
+        assert_bit_identical(result, warm_internet, baseline)
+        assert warm_internet.probe_count == 0
+
+    def test_warm_parallel_run_sends_zero_probes(
+        self, selection, baseline, tmp_path
+    ):
+        internet, snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            _run(internet, snapshot, selection, workers=2, store=store)
+        warm_internet, warm_snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            result = _run(
+                warm_internet, warm_snapshot, selection, workers=2,
+                store=store,
+            )
+        assert_bit_identical(result, warm_internet, baseline)
+        assert warm_internet.probe_count == 0
+
+    def test_different_seed_misses_cache(self, selection, tmp_path):
+        internet, snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            _run(internet, snapshot, selection, store=store)
+        other_internet, other_snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            run_campaign(
+                other_internet,
+                TerminationPolicy(),
+                slash24s=selection,
+                snapshot=other_snapshot,
+                seed=SEED + 1,
+                max_destinations_per_slash24=MAX_DESTINATIONS,
+                store=store,
+            )
+        assert other_internet.probe_count > 0  # nothing replayed
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_killed_run_resumes_bit_identical(
+        self, selection, baseline, tmp_path, workers
+    ):
+        internet, snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            flaky = FlakyStore(store, puts_allowed=5)
+            with pytest.raises(CrashInjected):
+                _run(
+                    internet, snapshot, selection, workers=workers,
+                    store=flaky,
+                )
+        # Reopen the store and resume with a fresh process state.
+        resumed_internet, resumed_snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            assert 0 < len(store) < len(selection)  # partial checkpoint
+            result = _run(
+                resumed_internet, resumed_snapshot, selection,
+                workers=workers, store=store,
+            )
+        assert_bit_identical(result, resumed_internet, baseline)
+        # The resumed run only paid for the /24s the crash lost.
+        assert 0 < resumed_internet.probe_count < baseline[1]
+
+    def test_repeated_crashes_eventually_finish(
+        self, selection, baseline, tmp_path
+    ):
+        finished = None
+        for attempt in range(len(selection) + 1):
+            internet, snapshot = _fresh_internet()
+            with MeasurementStore(tmp_path / "s") as store:
+                flaky = FlakyStore(store, puts_allowed=2)
+                try:
+                    finished = _run(
+                        internet, snapshot, selection, store=flaky
+                    )
+                    break
+                except CrashInjected:
+                    continue
+        assert finished is not None
+        assert_bit_identical(finished, internet, baseline)
+
+
+def _corrupt_one_stored_record(root):
+    """Flip a payload byte of the first record of the first non-empty
+    segment; returns nothing — exactly one record becomes unreadable."""
+    for path in sorted((root / "segments").iterdir()):
+        if path.stat().st_size > 0:
+            data = bytearray(path.read_bytes())
+            data[HEADER_SIZE + 4] ^= 0xFF
+            path.write_bytes(bytes(data))
+            return
+    raise AssertionError("no segment to corrupt")
+
+
+class TestCorruption:
+    def test_flipped_byte_is_flagged_and_remeasured(
+        self, selection, baseline, tmp_path
+    ):
+        internet, snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            _run(internet, snapshot, selection, store=store)
+        _corrupt_one_stored_record(tmp_path / "s")
+        warm_internet, warm_snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            report = store.verify()
+            assert not report.clean
+            assert len(report.corrupt) == 1
+            result = _run(warm_internet, warm_snapshot, selection, store=store)
+        assert_bit_identical(result, warm_internet, baseline)
+        # Only the damaged /24 was re-measured; the rest replayed.
+        assert 0 < warm_internet.probe_count < baseline[1]
+
+    def test_truncated_tail_is_recovered_silently(
+        self, selection, baseline, tmp_path
+    ):
+        internet, snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            _run(internet, snapshot, selection, store=store)
+        for path in sorted((tmp_path / "s" / "segments").iterdir()):
+            if path.stat().st_size > 0:
+                with open(path, "ab") as handle:
+                    handle.write(b"\xde\xad\xbe")  # interrupted append
+                break
+        warm_internet, warm_snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            result = _run(warm_internet, warm_snapshot, selection, store=store)
+            assert store.verify().clean  # the tail was trimmed on open
+        assert_bit_identical(result, warm_internet, baseline)
+        assert warm_internet.probe_count == 0
+
+
+class TestBudgetInteraction:
+    def test_replay_charges_budget(self, selection, tmp_path):
+        internet, snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            _run(internet, snapshot, selection[:4], store=store)
+        total_sent = internet.probe_count
+        # A budget below the first four /24s' recorded cost must fail
+        # even though every measurement replays from the store.
+        warm_internet, warm_snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            with pytest.raises(ProbeBudgetExceeded):
+                _run(
+                    warm_internet, warm_snapshot, selection[:4],
+                    store=store, max_probes=total_sent - 1,
+                )
+
+    def test_sufficient_budget_replays_cleanly(
+        self, selection, baseline, tmp_path
+    ):
+        internet, snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            _run(internet, snapshot, selection, store=store)
+        total_sent = internet.probe_count
+        warm_internet, warm_snapshot = _fresh_internet()
+        with MeasurementStore(tmp_path / "s") as store:
+            result = _run(
+                warm_internet, warm_snapshot, selection, store=store,
+                max_probes=total_sent,
+            )
+        assert_bit_identical(result, warm_internet, baseline)
+        assert warm_internet.probe_count == 0

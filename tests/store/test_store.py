@@ -1,0 +1,157 @@
+"""MeasurementStore: persistence, verification, and compaction."""
+
+import json
+
+import pytest
+
+from repro.store import MeasurementStore, StoreError
+from repro.store.codec import HEADER_SIZE, frame_record
+
+
+def doc(key, value=0):
+    return {"key": key, "kind": "artifact", "value": value}
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        with MeasurementStore(tmp_path / "s") as store:
+            store.put(doc("k1", 41))
+            assert store.get("k1") == doc("k1", 41)
+            assert "k1" in store
+            assert len(store) == 1
+        assert store.get("missing") is None
+
+    def test_survives_reopen(self, tmp_path):
+        with MeasurementStore(tmp_path / "s") as store:
+            for index in range(40):
+                store.put(doc(f"{index:02x}", index))
+        with MeasurementStore(tmp_path / "s") as store:
+            assert len(store) == 40
+            assert store.get("07") == doc("07", 7)
+
+    def test_records_spread_across_shards(self, tmp_path):
+        with MeasurementStore(tmp_path / "s", shards=4) as store:
+            for index in range(64):
+                store.put(doc(f"{index * 7919:08x}", index))
+            used = {store._shard_of(key) for key in store.keys()}
+        assert len(used) > 1
+
+    def test_same_key_last_write_wins(self, tmp_path):
+        with MeasurementStore(tmp_path / "s") as store:
+            store.put(doc("k", "old"))
+            store.put(doc("k", "new"))
+            assert store.get("k") == doc("k", "new")
+            assert store.superseded == 1
+        with MeasurementStore(tmp_path / "s") as store:
+            assert store.get("k") == doc("k", "new")
+            assert store.superseded == 1
+
+    def test_shard_count_fixed_at_creation(self, tmp_path):
+        MeasurementStore(tmp_path / "s", shards=4).close()
+        # A different requested count is ignored for an existing store.
+        store = MeasurementStore(tmp_path / "s", shards=32)
+        assert store.shards == 4
+        store.close()
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        MeasurementStore(tmp_path / "s").close()
+        meta = tmp_path / "s" / "store.json"
+        meta.write_text(json.dumps({"version": 99, "shards": 16}))
+        with pytest.raises(StoreError, match="v99"):
+            MeasurementStore(tmp_path / "s")
+
+    def test_unreadable_metadata_rejected(self, tmp_path):
+        MeasurementStore(tmp_path / "s").close()
+        (tmp_path / "s" / "store.json").write_text("not json")
+        with pytest.raises(StoreError):
+            MeasurementStore(tmp_path / "s")
+
+
+def _flip_byte_in_record(store_root, key):
+    """Flip one payload byte of ``key``'s record on disk."""
+    probe = MeasurementStore(store_root)
+    shard = probe._shard_of(key)
+    probe.close()
+    path = store_root / "segments" / f"shard-{shard:02x}.seg"
+    target = frame_record(doc(key, "victim"))
+    data = bytearray(path.read_bytes())
+    start = bytes(data).index(target)
+    data[start + HEADER_SIZE] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestVerifyAndGc:
+    def test_verify_clean(self, tmp_path):
+        with MeasurementStore(tmp_path / "s") as store:
+            store.put(doc("k1"))
+            report = store.verify()
+        assert report.clean
+        assert report.records_ok == 1
+
+    def test_verify_flags_flipped_byte(self, tmp_path):
+        with MeasurementStore(tmp_path / "s") as store:
+            store.put(doc("aa", "victim"))
+            store.put(doc("bb", "bystander"))
+        _flip_byte_in_record(tmp_path / "s", "aa")
+        with MeasurementStore(tmp_path / "s") as store:
+            report = store.verify()
+            assert not report.clean
+            assert len(report.corrupt) == 1
+            assert "checksum" in report.corrupt[0].reason
+            # The damaged record is gone from the index, not the store.
+            assert store.get("aa") is None
+            assert store.get("bb") == doc("bb", "bystander")
+
+    def test_gc_drops_corrupt_and_superseded(self, tmp_path):
+        with MeasurementStore(tmp_path / "s") as store:
+            store.put(doc("aa", "victim"))
+            store.put(doc("bb", "old"))
+            store.put(doc("bb", "new"))
+            store.put(doc("cc", 3))
+        _flip_byte_in_record(tmp_path / "s", "aa")
+        with MeasurementStore(tmp_path / "s") as store:
+            dropped = store.gc()
+            assert dropped == {
+                "dropped_corrupt": 1, "dropped_superseded": 1,
+            }
+            assert store.verify().clean
+            assert store.get("bb") == doc("bb", "new")
+            assert store.get("cc") == doc("cc", 3)
+            assert len(store) == 2
+        # Still clean and complete after reopen.
+        with MeasurementStore(tmp_path / "s") as store:
+            assert len(store) == 2
+            assert store.verify().clean
+
+    def test_gc_noop_on_clean_store(self, tmp_path):
+        with MeasurementStore(tmp_path / "s") as store:
+            store.put(doc("k1"))
+            assert store.gc() == {
+                "dropped_corrupt": 0, "dropped_superseded": 0,
+            }
+            assert store.get("k1") == doc("k1")
+
+    def test_truncated_tail_recovered_on_open(self, tmp_path):
+        with MeasurementStore(tmp_path / "s") as store:
+            store.put(doc("k1", 1))
+            shard = store._shard_of("k1")
+        path = tmp_path / "s" / "segments" / f"shard-{shard:02x}.seg"
+        with open(path, "ab") as handle:
+            handle.write(frame_record(doc("k2", 2))[:-4])  # crash mid-append
+        with MeasurementStore(tmp_path / "s") as store:
+            assert store.get("k1") == doc("k1", 1)
+            assert store.get("k2") is None
+            assert store.verify().clean  # tail was trimmed on open
+
+
+class TestInfo:
+    def test_info_counts(self, tmp_path):
+        with MeasurementStore(tmp_path / "s") as store:
+            store.put(doc("k1"))
+            store.put(doc("k2"))
+            info = store.info()
+        assert info["records"] == 2
+        assert info["artifact_records"] == 2
+        assert info["slash24_records"] == 0
+        assert info["format_version"] == 1
+        assert info["bytes"] > 0

@@ -1,0 +1,60 @@
+"""Workspace persistent mode: artifact caching and the store property.
+
+Full tiny-profile warm-rerun coverage (zero probes across every stage)
+lives in the CI store smoke; here we keep to the cheap stages so the
+tier-1 suite stays fast."""
+
+import pytest
+
+from repro.experiments import PROFILES, Workspace
+from repro.experiments.common import active_store_path
+from repro.store import MeasurementStore
+
+
+class TestStoreProperty:
+    def test_no_store_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        workspace = Workspace(PROFILES["tiny"])
+        assert workspace.store_path is None
+        assert workspace.store is None
+
+    def test_env_var_attaches_store(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        assert active_store_path() == str(tmp_path / "env-store")
+        workspace = Workspace(PROFILES["tiny"])
+        assert workspace.store_path == str(tmp_path / "env-store")
+        assert isinstance(workspace.store, MeasurementStore)
+
+    def test_explicit_path_wins_over_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        workspace = Workspace(
+            PROFILES["tiny"], store_path=str(tmp_path / "explicit")
+        )
+        assert workspace.store_path == str(tmp_path / "explicit")
+
+
+class TestConfidenceDatasetCaching:
+    @pytest.fixture(scope="class")
+    def store_root(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("ws-store") / "s"
+
+    def test_warm_dataset_is_bit_identical_and_probe_free(self, store_root):
+        cold = Workspace(PROFILES["tiny"], store_path=str(store_root))
+        cold_dataset = cold.confidence_dataset
+        cold_probes = cold.internet.probe_count
+        cold_clock = cold.internet.clock_seconds
+        assert cold_probes > 0
+
+        warm = Workspace(PROFILES["tiny"], store_path=str(store_root))
+        warm_dataset = warm.confidence_dataset
+        assert warm.internet.probe_count == 0
+        assert warm_dataset == cold_dataset
+        assert list(warm_dataset) == list(cold_dataset)  # canonical order
+        # The virtual clock is restored too, so later stages line up.
+        assert warm.internet.clock_seconds == cold_clock
+
+    def test_storeless_build_matches_stored_build(self, store_root):
+        stored = Workspace(PROFILES["tiny"], store_path=str(store_root))
+        plain = Workspace(PROFILES["tiny"])
+        assert plain.confidence_dataset == stored.confidence_dataset
+        assert plain.internet.clock_seconds == stored.internet.clock_seconds

@@ -1,0 +1,70 @@
+"""Tests for the atomic file-write helpers."""
+
+import os
+
+import pytest
+
+from repro.util.fileio import (
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+)
+
+
+class TestAtomicWriter:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_writer(path) as handle:
+            handle.write("hello")
+        assert path.read_text() == "hello"
+
+    def test_binary_mode(self, tmp_path):
+        path = tmp_path / "out.bin"
+        with atomic_writer(path, mode="wb") as handle:
+            handle.write(b"\x00\x01")
+        assert path.read_bytes() == b"\x00\x01"
+
+    def test_replaces_existing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        with atomic_writer(path) as handle:
+            handle.write("new")
+        assert path.read_text() == "new"
+
+    def test_error_leaves_no_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path) as handle:
+                handle.write("partial")
+                raise RuntimeError("boom")
+        assert not path.exists()
+        assert os.listdir(tmp_path) == []  # temp file cleaned up too
+
+    def test_error_preserves_existing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("precious")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path) as handle:
+                handle.write("partial")
+                raise RuntimeError("boom")
+        assert path.read_text() == "precious"
+
+    def test_rejects_read_modes(self, tmp_path):
+        with pytest.raises(ValueError):
+            with atomic_writer(tmp_path / "x", mode="r"):
+                pass
+        with pytest.raises(ValueError):
+            with atomic_writer(tmp_path / "x", mode="a"):
+                pass
+
+
+class TestHelpers:
+    def test_write_text(self, tmp_path):
+        path = tmp_path / "t.txt"
+        atomic_write_text(path, "content")
+        assert path.read_text() == "content"
+
+    def test_write_bytes(self, tmp_path):
+        path = tmp_path / "b.bin"
+        atomic_write_bytes(path, b"content")
+        assert path.read_bytes() == b"content"
