@@ -33,6 +33,27 @@ def bench_probe_dispatch(benchmark, workspace):
     benchmark(send_hundred)
 
 
+def bench_probe_batch_sweep(benchmark, workspace):
+    """The vectorised hot path: one /24 swept through
+    ``send_probe_batch`` (compare with ``bench_probe_dispatch`` for the
+    per-probe serial cost)."""
+    internet = workspace.internet
+    slash24 = workspace.snapshot.eligible_slash24s()[0]
+    addrs = list(slash24)
+    benchmark(internet.send_probe_batch, addrs, 64)
+
+
+def bench_probe_batch_mda_fanout(benchmark, workspace):
+    """MDA-style fan-out: 64 flows to one destination at a router TTL,
+    batched."""
+    internet = workspace.internet
+    snapshot = workspace.snapshot
+    slash24 = snapshot.eligible_slash24s()[0]
+    dst = snapshot.active_in(slash24)[0]
+    flows = list(range(64))
+    benchmark(internet.send_probe_batch, [dst] * 64, 6, flows)
+
+
 def bench_paris_traceroute(benchmark, workspace):
     internet = workspace.internet
     snapshot = workspace.snapshot

@@ -153,6 +153,46 @@ class PrefixTrie(Generic[V]):
             if node.has_value and depth < prefix.length:
                 yield Prefix.of(prefix.network, depth), node.value
 
+    def leaf_intervals(self) -> List[Tuple[int, Optional[V]]]:
+        """Flatten longest-prefix matching into sorted breakpoints.
+
+        Returns ``[(start, value), ...]`` with ``starts`` strictly
+        increasing from 0: every address ``a`` matches the value of the
+        last breakpoint with ``start <= a`` (None where no prefix
+        covers). This is what lets a FIB trade the per-address trie walk
+        for one ``bisect``/``searchsorted`` over a frozen table.
+        """
+        points: List[Tuple[int, Optional[V]]] = [(0, None)]
+        # Pending (end_exclusive, value-to-restore) for every prefix
+        # whose interval is still open, innermost last. items() yields
+        # ancestors before descendants in address order, so a child
+        # carves a hole out of the breakpoint its parent just emitted
+        # and the parent's value resumes at the child's end.
+        stack: List[Tuple[int, Optional[V]]] = []
+
+        def emit(position: int, value: Optional[V]) -> None:
+            if points[-1][0] == position:
+                if len(points) > 1 and points[-2][1] is value:
+                    points.pop()
+                else:
+                    points[-1] = (position, value)
+            elif points[-1][1] is not value:
+                points.append((position, value))
+
+        for prefix, value in self.items():
+            first = prefix.network
+            while stack and stack[-1][0] <= first:
+                end, restore = stack.pop()
+                emit(end, restore)
+            stack.append(
+                (first + (1 << (ADDRESS_BITS - prefix.length)), points[-1][1])
+            )
+            emit(first, value)
+        while stack:
+            end, restore = stack.pop()
+            emit(end, restore)
+        return points
+
     def _walk(
         self, node: _Node[V], network: int, depth: int
     ) -> Iterator[Tuple[Prefix, V]]:

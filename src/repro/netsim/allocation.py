@@ -139,6 +139,9 @@ class AllocationMap:
     def __init__(self) -> None:
         self._trie: PrefixTrie[Allocation] = PrefixTrie()
         self._allocations: List[Allocation] = []
+        #: Bumped on every add so compiled lookup indexes can detect
+        #: staleness (the simulator flattens the trie once per build).
+        self.revision = 0
 
     def add(self, allocation: Allocation) -> None:
         existing = self._trie.get(allocation.prefix)
@@ -147,11 +150,17 @@ class AllocationMap:
         self._trie.insert(allocation.prefix, allocation)
         self._allocations.append(allocation)
         allocation.pod.allocations.append(allocation)
+        self.revision += 1
 
     def lookup(self, addr: int) -> Optional[Allocation]:
         """Most-specific allocation covering an address."""
         match = self._trie.lookup(addr)
         return match[1] if match else None
+
+    def leaf_intervals(self) -> List[Tuple[int, Optional[Allocation]]]:
+        """The map flattened into sorted LPM breakpoints (see
+        :meth:`repro.net.trie.PrefixTrie.leaf_intervals`)."""
+        return self._trie.leaf_intervals()
 
     def pod_of(self, addr: int) -> Optional[Pod]:
         allocation = self.lookup(addr)

@@ -197,6 +197,9 @@ class _Builder:
         for org_spec in self.config.orgs:
             self._build_org(org_spec)
         forwarder = Forwarder(self.topology, self.fibs, vantage_gw)
+        # Freeze every FIB into its flat-interval form up front: probing
+        # then never pays a trie walk (no-op under the reference engine).
+        forwarder.precompile()
         return BuiltScenario(
             config=self.config,
             topology=self.topology,

@@ -22,6 +22,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from ..util import hashing as hashing_np
 from ..util.hashing import mix, mix_to_unit, stable_string_hash
 
 _EXISTS = stable_string_hash("host-exists")
@@ -143,35 +144,11 @@ def promotion_delay_seconds(
 # ---------------------------------------------------------------------------
 
 
-def _splitmix64_np(values: np.ndarray) -> np.ndarray:
-    """splitmix64 finalizer over a uint64 array (matches hashing.splitmix64)."""
-    with np.errstate(over="ignore"):
-        v = (values + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
-        v ^= v >> np.uint64(30)
-        v *= np.uint64(0xBF58476D1CE4E5B9)
-        v ^= v >> np.uint64(27)
-        v *= np.uint64(0x94D049BB133111EB)
-        v ^= v >> np.uint64(31)
-    return v
-
-
-def _mix_np(seed: int, addrs: np.ndarray, *extra: int) -> np.ndarray:
-    """Vectorised ``mix(seed, addr, *extra)`` over an address array."""
-    state0 = np.uint64(_scalar_splitmix(seed & _MASK64))
-    v = _splitmix64_np(np.uint64(state0) ^ addrs.astype(np.uint64))
-    for value in extra:
-        v = _splitmix64_np(v ^ np.uint64(value & _MASK64))
-    return v
-
-
-def _scalar_splitmix(value: int) -> int:
-    from ..util.hashing import splitmix64
-
-    return splitmix64(value)
-
-
-def _unit_np(hashes: np.ndarray) -> np.ndarray:
-    return hashes.astype(np.float64) * _TO_UNIT
+# The vector hash core lives in util.hashing (shared with the batched
+# probe engine); the old private names stay as aliases.
+_splitmix64_np = hashing_np.splitmix64_np
+_mix_np = hashing_np.mix_np
+_unit_np = hashing_np.unit_np
 
 
 def hosts_up_in_epoch_np(
@@ -202,3 +179,47 @@ def hosts_up_in_epoch_np(
         )
         up &= ~asleep | survivor
     return up
+
+
+def _weighted_rolls_np(
+    rolls: np.ndarray, weights: Sequence[Tuple[int, float]]
+) -> np.ndarray:
+    """Vectorised cumulative-weight selection matching the scalar loop
+    (same accumulation order, so thresholds are bitwise identical)."""
+    out = np.full(rolls.shape, weights[-1][0], dtype=np.int64)
+    unset = np.ones(rolls.shape, dtype=bool)
+    cumulative = 0.0
+    for value, weight in weights:
+        cumulative += weight
+        hit = unset & (rolls < cumulative)
+        out[hit] = value
+        unset &= ~hit
+    return out
+
+
+def default_ttls_np(
+    seed: int,
+    addrs: np.ndarray,
+    weights: Sequence[Tuple[int, float]],
+    custom_probability: float,
+) -> np.ndarray:
+    """Vectorised :func:`default_ttl` — int64 TTL per address."""
+    addrs = addrs.astype(np.uint64)
+    custom = _unit_np(_mix_np(seed ^ _TTL, addrs, 1)) < custom_probability
+    choices = np.array((30, 60, 100, 200), dtype=np.int64)
+    custom_vals = choices[
+        (_mix_np(seed ^ _TTL, addrs, 2) % np.uint64(len(choices))).astype(
+            np.int64
+        )
+    ]
+    rolls = _unit_np(_mix_np(seed ^ _TTL, addrs, 0))
+    return np.where(custom, custom_vals, _weighted_rolls_np(rolls, weights))
+
+
+def reverse_path_deltas_np(
+    seed: int, addrs: np.ndarray, weights: Sequence[Tuple[int, float]]
+) -> np.ndarray:
+    """Vectorised :func:`reverse_path_delta` — int64 delta per address."""
+    addrs = addrs.astype(np.uint64)
+    rolls = _unit_np(_mix_np(seed ^ _DELTA, addrs))
+    return _weighted_rolls_np(rolls, weights)

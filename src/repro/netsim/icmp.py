@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Sequence
 
-from ..util.hashing import mix_to_unit
+from ..util.hashing import mix_np, mix_to_unit, unit_np
 
 COMMON_DEFAULT_TTLS: Sequence[int] = (64, 128, 255)
 
@@ -117,3 +117,13 @@ def stochastic_loss(seed: int, probe_nonce: int, loss_probability: float) -> boo
     if loss_probability <= 0.0:
         return False
     return mix_to_unit(seed, probe_nonce) < loss_probability
+
+
+def stochastic_loss_np(seed, nonces, loss_probability: float):
+    """Vectorised :func:`stochastic_loss` — boolean mask per nonce."""
+    import numpy as np
+
+    nonces = np.asarray(nonces, dtype=np.uint64)
+    if loss_probability <= 0.0:
+        return np.zeros(nonces.shape, dtype=bool)
+    return unit_np(mix_np(seed, nonces)) < loss_probability

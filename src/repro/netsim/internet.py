@@ -9,11 +9,23 @@ oracle for scoring.
 A virtual clock advances a fixed amount per probe; host availability is
 a function of the epoch the clock falls in, which is how the ZMap
 snapshot (taken in an earlier epoch) goes stale by probe time.
+
+Two probe entry points exist: :meth:`SimulatedInternet.send_probe` (one
+probe) and :meth:`SimulatedInternet.send_probe_batch` (a batch sharing
+one TTL). The batch vectorises every stochastic draw — loss, jitter,
+spikes, default TTLs, reverse-path deltas, host availability — with
+numpy while advancing the clock and nonce exactly as the serial loop
+would, so the two are bit-identical probe for probe (every draw is a
+pure hash of seed and nonce/address; only the sequencing is stateful).
+``REPRO_REFERENCE_ENGINE=1`` forces the serial path everywhere.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import math
+import time
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,18 +37,27 @@ from .build import BuiltScenario, build_scenario
 from .config import ScenarioConfig
 from .geodb import GeoDatabase
 from .groundtruth import GroundTruth
-from .icmp import IcmpReply, ReplyKind, stochastic_loss
+from .icmp import IcmpReply, ReplyKind, stochastic_loss, stochastic_loss_np
 from .orgs import OrgRegistry
 from .rdns import pattern_label, rdns_name, router_rdns_name
-from .routing import Forwarder
+from .routing import Forwarder, reference_engine_enabled
 from .hosts import promotion_delay_seconds
-from .rtt import CellularRadioTracker, path_rtt_ms
+from .rtt import (
+    HOST_LATENCY_MS,
+    CellularRadioTracker,
+    path_rtt_ms,
+    rtt_draws_for_nonces,
+)
 from .topology import Topology
 from .whois import WhoisService
 
 _BITCOIN = stable_string_hash("bitcoin-node")
 #: Probability that an active residential host runs a Bitcoin node.
 BITCOIN_NODE_PROBABILITY = 0.004
+
+#: Below this size the batched path's numpy setup costs more than the
+#: serial loop; results are identical either way.
+MIN_VECTOR_BATCH = 4
 
 
 class SimulatedInternet:
@@ -58,15 +79,34 @@ class SimulatedInternet:
         )
         self.clock_seconds: float = 0.0
         self.probe_count: int = 0
+        #: Wall-clock seconds spent inside the probe primitives (scalar
+        #: and batched), for bench attribution via :meth:`stats`.
+        self.probe_seconds: float = 0.0
+        self.probe_batches: int = 0
+        self.batched_probes: int = 0
         self._radio = CellularRadioTracker()
         self._nonce = 0
         #: Rate limiters that consumed tokens since the last context
         #: switch (kept small so context resets stay O(touched)).
         self._touched_limiters: set = set()
+        self._reference = reference_engine_enabled()
+        # Compiled allocation index (flat sorted intervals) and per-path
+        # propagation prefix sums; both build lazily and rebuild after
+        # unpickling (see __getstate__).
+        self._alloc_index: Optional[tuple] = None
+        self._prop_cache: Dict[tuple, List[float]] = {}
 
     @classmethod
     def from_config(cls, config: ScenarioConfig) -> "SimulatedInternet":
         return cls(build_scenario(config))
+
+    def __getstate__(self):
+        # Parallel campaign workers receive pickled internets; derived
+        # caches rebuild lazily, so don't ship them.
+        state = self.__dict__.copy()
+        state["_alloc_index"] = None
+        state["_prop_cache"] = {}
+        return state
 
     # -- universe ---------------------------------------------------------
 
@@ -77,8 +117,6 @@ class SimulatedInternet:
     # -- clock ------------------------------------------------------------
 
     def epoch_at(self, clock_seconds: float) -> int:
-        import math
-
         return math.floor(clock_seconds / self.config.epoch_seconds)
 
     @property
@@ -117,6 +155,33 @@ class SimulatedInternet:
             limiter.reset()
         self._touched_limiters.clear()
 
+    # -- allocation lookup (compiled) ----------------------------------------
+
+    def _allocation_index(self) -> tuple:
+        """Flat sorted-interval index over the allocation trie:
+        ``(revision, starts_list, starts_array, values)``."""
+        index = self._alloc_index
+        if index is None or index[0] != self.allocations.revision:
+            points = self.allocations.leaf_intervals()
+            starts = [start for start, _ in points]
+            values = [value for _, value in points]
+            index = (
+                self.allocations.revision,
+                starts,
+                np.array(starts, dtype=np.int64),
+                values,
+            )
+            self._alloc_index = index
+        return index
+
+    def _allocation_of(self, addr: int) -> Optional[Allocation]:
+        """Most-specific allocation for an address (bisect over the
+        compiled index; the reference engine keeps the trie walk)."""
+        if self._reference:
+            return self.allocations.lookup(addr)
+        _, starts, _, values = self._allocation_index()
+        return values[bisect_right(starts, addr) - 1]
+
     # -- probe primitive ----------------------------------------------------
 
     def send_probe(
@@ -133,13 +198,22 @@ class SimulatedInternet:
         how probing from additional vantage points reveals extra
         last-hop routers.
         """
+        started = time.perf_counter()
+        try:
+            return self._send_probe(dst, ttl, flow_id, source)
+        finally:
+            self.probe_seconds += time.perf_counter() - started
+
+    def _send_probe(
+        self, dst: int, ttl: int, flow_id: int, source: Optional[int]
+    ) -> Optional[IcmpReply]:
         self.probe_count += 1
         self._nonce += 1
         nonce = self._nonce
         self.clock_seconds += self.config.probe_clock_step_seconds
         if ttl < 1:
             return None
-        allocation = self.allocations.lookup(dst)
+        allocation = self._allocation_of(dst)
         if allocation is None:
             return None
         path = self.forwarder.resolve_path(
@@ -201,11 +275,240 @@ class SimulatedInternet:
             )
         return IcmpReply(ReplyKind.ECHO_REPLY, dst, observed_ttl, rtt)
 
+    # -- batched probe primitive ---------------------------------------------
+
+    def send_probe_batch(
+        self,
+        dsts: Sequence[int],
+        ttl: int,
+        flow_ids: Union[int, Sequence[int]] = 0,
+        source: Optional[int] = None,
+        inter_probe_seconds: float = 0.0,
+    ) -> List[Optional[IcmpReply]]:
+        """Send one probe per destination, all with the same TTL.
+
+        Equivalent — probe for probe, bitwise — to calling
+        :meth:`send_probe` over ``dsts`` in order with
+        :meth:`advance_clock`(``inter_probe_seconds``) between
+        consecutive probes, but with the stochastic draws vectorised.
+        ``flow_ids`` is one flow id for the whole batch or a sequence
+        parallel to ``dsts``.
+        """
+        count = len(dsts)
+        if isinstance(flow_ids, int):
+            flows: Sequence[int] = (flow_ids,) * count
+        else:
+            flows = flow_ids
+            if len(flows) != count:
+                raise ValueError("flow_ids must match dsts in length")
+        if inter_probe_seconds < 0:
+            raise ValueError("the clock only moves forward")
+        if self._reference or count < MIN_VECTOR_BATCH:
+            replies: List[Optional[IcmpReply]] = []
+            for index in range(count):
+                if index and inter_probe_seconds:
+                    self.advance_clock(inter_probe_seconds)
+                replies.append(
+                    self.send_probe(dsts[index], ttl, flows[index], source)
+                )
+            return replies
+        started = time.perf_counter()
+        try:
+            return self._send_probe_batch(
+                dsts, ttl, flows, source, inter_probe_seconds
+            )
+        finally:
+            self.probe_seconds += time.perf_counter() - started
+            self.probe_batches += 1
+            self.batched_probes += count
+
+    def _send_probe_batch(
+        self,
+        dsts: Sequence[int],
+        ttl: int,
+        flows: Sequence[int],
+        source: Optional[int],
+        gap: float,
+    ) -> List[Optional[IcmpReply]]:
+        count = len(dsts)
+        config = self.config
+        built = self._built
+        # Clock/nonce sequencing, replicated from the serial loop: the
+        # clock accumulates per probe (float addition is not
+        # associative, so no closed-form base + i*step).
+        step = config.probe_clock_step_seconds
+        clock = self.clock_seconds
+        clocks: List[float] = []
+        for index in range(count):
+            if index and gap:
+                clock += gap
+            clock += step
+            clocks.append(clock)
+        base_nonce = self._nonce
+        self.probe_count += count
+        self._nonce += count
+        self.clock_seconds = clocks[-1]
+        replies: List[Optional[IcmpReply]] = [None] * count
+        if ttl < 1:
+            return replies
+
+        src = source if source is not None else self.vantage_address
+        _, _, alloc_starts, alloc_values = self._allocation_index()
+        alloc_indexes = (
+            np.searchsorted(
+                alloc_starts, np.asarray(dsts, dtype=np.int64), side="right"
+            )
+            - 1
+        ).tolist()
+        resolve = self.forwarder.resolve_path
+        router_probes: List[Tuple[int, tuple]] = []
+        host_probes: List[Tuple[int, Allocation, tuple]] = []
+        for index in range(count):
+            allocation = alloc_values[alloc_indexes[index]]
+            if allocation is None:
+                continue
+            path = resolve(
+                src, dsts[index], flows[index], base_nonce + index + 1
+            )
+            if ttl <= len(path):
+                router_probes.append((index, path))
+            else:
+                host_probes.append((index, allocation, path))
+        if not router_probes and not host_probes:
+            return replies
+
+        # All per-nonce RTT draws for the batch, vectorised up front
+        # (pure hashes — evaluating draws serial code never reaches is
+        # harmless).
+        nonces = np.arange(
+            base_nonce + 1, base_nonce + count + 1, dtype=np.uint64
+        )
+        jitter, spike_flags, spike_ms = rtt_draws_for_nonces(
+            built.rtt_seed, nonces
+        )
+
+        if router_probes:
+            lost = stochastic_loss_np(
+                built.loss_seed,
+                nonces[[index for index, _ in router_probes]],
+                config.router_loss_probability,
+            ).tolist()
+            reply_ttl = max(0, 255 - ttl)
+            for position, (index, path) in enumerate(router_probes):
+                router = path[ttl - 1]
+                if not router.responds_to_ttl_exceeded:
+                    continue
+                if router.rate_limiter is not None:
+                    self._touched_limiters.add(router.rate_limiter)
+                    if not router.rate_limiter.allow(clocks[index]):
+                        continue
+                if lost[position]:
+                    continue
+                rtt = (
+                    2.0 * self._propagation_sums(path)[ttl]
+                    + HOST_LATENCY_MS
+                    + jitter[index]
+                )
+                if spike_flags[index]:
+                    rtt += spike_ms[index]
+                replies[index] = IcmpReply(
+                    ReplyKind.TTL_EXCEEDED, router.address, reply_ttl, rtt
+                )
+
+        if host_probes:
+            self._host_replies_batch(
+                replies, host_probes, dsts, clocks, nonces,
+                jitter, spike_flags, spike_ms,
+            )
+        return replies
+
+    def _host_replies_batch(
+        self, replies, host_probes, dsts, clocks, nonces,
+        jitter, spike_flags, spike_ms,
+    ) -> None:
+        built = self._built
+        config = self.config
+        epoch_seconds = config.epoch_seconds
+        addrs = np.array(
+            [dsts[index] for index, _, _ in host_probes], dtype=np.uint64
+        )
+        # Availability draws group by (pod parameters, probe epoch) —
+        # a batch can straddle an epoch boundary mid-flight.
+        up = [False] * len(host_probes)
+        groups: Dict[tuple, List[int]] = {}
+        for position, (index, allocation, _) in enumerate(host_probes):
+            pod = allocation.pod
+            epoch = math.floor(clocks[index] / epoch_seconds)
+            key = (
+                pod.host_density, pod.host_stability,
+                pod.sleep_probability, epoch,
+            )
+            groups.setdefault(key, []).append(position)
+        for (density, stability, sleep_p, epoch), members in groups.items():
+            mask = hostmod.hosts_up_in_epoch_np(
+                built.host_seed, addrs[members], epoch,
+                density, stability, sleep_p,
+            ).tolist()
+            for position, is_up in zip(members, mask):
+                up[position] = is_up
+        lost = stochastic_loss_np(
+            built.loss_seed,
+            nonces[[index for index, _, _ in host_probes]],
+            config.host_loss_probability,
+        ).tolist()
+        defaults = hostmod.default_ttls_np(
+            built.host_seed, addrs, config.default_ttl_weights,
+            config.custom_ttl_probability,
+        ).tolist()
+        deltas = hostmod.reverse_path_deltas_np(
+            built.host_seed, addrs, config.reverse_delta_weights
+        ).tolist()
+        for position, (index, allocation, path) in enumerate(host_probes):
+            if not up[position] or lost[position]:
+                continue
+            reverse_len = max(1, len(path) + deltas[position])
+            observed_ttl = max(0, defaults[position] - reverse_len)
+            rtt = (
+                2.0 * self._propagation_sums(path)[len(path)]
+                + HOST_LATENCY_MS
+                + jitter[index]
+            )
+            if spike_flags[index]:
+                rtt += spike_ms[index]
+            pod = allocation.pod
+            dst = dsts[index]
+            if pod.cellular and self._radio.promotion_applies(
+                dst, clocks[index]
+            ):
+                low, high = pod.promotion_delay_range
+                rtt += 1000.0 * promotion_delay_seconds(
+                    built.host_seed, dst, low, high
+                )
+            replies[index] = IcmpReply(
+                ReplyKind.ECHO_REPLY, dst, observed_ttl, rtt
+            )
+
+    def _propagation_sums(self, path: tuple) -> List[float]:
+        """Prefix sums of per-router latency along a path; entry ``k``
+        is the left-to-right sum over ``path[:k]``, so doubling it
+        reproduces :func:`path_rtt_ms`'s propagation term bitwise.
+        Paths are signature-deduplicated tuples, so the cache stays
+        small."""
+        sums = self._prop_cache.get(path)
+        if sums is None:
+            total = 0.0
+            sums = [0.0]
+            for router in path:
+                total = total + router.latency_ms
+                sums.append(total)
+            self._prop_cache[path] = sums
+        return sums
+
     # -- fast host queries (for the ZMap scan and tests) ---------------------
 
     def is_host_up(self, addr: int, epoch: Optional[int] = None) -> bool:
         """Oracle form of an echo probe (no loss, no clock movement)."""
-        allocation = self.allocations.lookup(addr)
+        allocation = self._allocation_of(addr)
         if allocation is None:
             return False
         if epoch is None:
@@ -223,17 +526,24 @@ class SimulatedInternet:
         if epoch is None:
             epoch = self.current_epoch
         result: List[int] = []
+        ordered = True
+        previous_last = -1
         for allocation in self.allocations.allocations_within(slash24):
             first = max(allocation.prefix.first, slash24.first)
             last = min(allocation.prefix.last, slash24.last)
+            if first <= previous_last:
+                ordered = False
+            previous_last = last
             addrs = np.arange(first, last + 1, dtype=np.uint64)
             mask = hostmod.hosts_up_in_epoch_np(
                 self._built.host_seed, addrs, epoch,
                 allocation.pod.host_density, allocation.pod.host_stability,
                 allocation.pod.sleep_probability,
             )
-            result.extend(int(a) for a in addrs[mask])
-        return sorted(result)
+            result.extend(addrs[mask].tolist())
+        # allocations_within walks the trie in address order, so the
+        # concatenation is already sorted unless spans overlapped.
+        return result if ordered else sorted(result)
 
     # -- naming -------------------------------------------------------------
 
@@ -289,6 +599,7 @@ class SimulatedInternet:
     # -- diagnostics ----------------------------------------------------------
 
     def stats(self) -> Dict[str, float]:
+        forwarder = self.forwarder.cache_stats()
         return {
             "probe_count": self.probe_count,
             "clock_seconds": self.clock_seconds,
@@ -297,4 +608,15 @@ class SimulatedInternet:
             "allocations": len(self.allocations),
             "slash24s": len(self.universe_slash24s),
             "forwarder_cache": self.forwarder.cache_size,
+            "forwarder_cache_hits": forwarder["hits"],
+            "forwarder_cache_misses": forwarder["misses"],
+            "forwarder_cache_hit_rate": forwarder["hit_rate"],
+            "forwarder_shared_paths": forwarder["shared_paths"],
+            "probe_seconds": self.probe_seconds,
+            "probe_us_avg": (
+                1e6 * self.probe_seconds / self.probe_count
+                if self.probe_count else 0.0
+            ),
+            "probe_batches": self.probe_batches,
+            "batched_probes": self.batched_probes,
         }

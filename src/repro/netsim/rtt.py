@@ -10,11 +10,13 @@ its first probe, after which it stays promoted for a short window
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import math
 
-from ..util.hashing import mix_to_unit, stable_string_hash
+import numpy as np
+
+from ..util.hashing import mix_np, mix_to_unit, stable_string_hash, unit_np
 from .topology import Router
 
 _JITTER = stable_string_hash("rtt-jitter")
@@ -40,6 +42,31 @@ def path_rtt_ms(path: Sequence[Router], seed: int, nonce: int) -> float:
     if mix_to_unit(seed ^ _SPIKE, nonce) < SPIKE_PROBABILITY:
         rtt += SPIKE_MAX_MS * mix_to_unit(seed ^ _SPIKE, nonce, 1)
     return rtt
+
+
+def rtt_draws_for_nonces(
+    seed: int, nonces: Sequence[int]
+) -> Tuple[List[float], List[bool], List[float]]:
+    """Per-nonce jitter and spike draws of :func:`path_rtt_ms`,
+    vectorised over a probe batch.
+
+    Returns ``(jitter_ms, spike_flags, spike_ms)``; a probe's RTT is
+    ``propagation + HOST_LATENCY_MS + jitter_ms[i]`` plus
+    ``spike_ms[i]`` when ``spike_flags[i]``. The hash draws run through
+    numpy; the log stays scalar because ``np.log`` is not bitwise
+    identical to ``math.log`` on every input.
+    """
+    arr = np.asarray(nonces, dtype=np.uint64)
+    jitter_units = unit_np(mix_np(seed ^ _JITTER, arr)).tolist()
+    jitter = [
+        -JITTER_MEAN_MS * math.log(max(1.0 - u, 1e-12))
+        for u in jitter_units
+    ]
+    spike_flags = (
+        unit_np(mix_np(seed ^ _SPIKE, arr)) < SPIKE_PROBABILITY
+    ).tolist()
+    spike = (SPIKE_MAX_MS * unit_np(mix_np(seed ^ _SPIKE, arr, 1))).tolist()
+    return jitter, spike_flags, spike
 
 
 class CellularRadioTracker:

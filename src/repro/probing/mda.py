@@ -141,20 +141,32 @@ def identify_lasthops(
     result.distance = distance
 
     # Step 3: enumerate routers at the last hop with the stopping rule.
+    # probes_required is nondecreasing in |seen|, so the serial loop
+    # would always send at least (required - sent) more probes before
+    # re-checking — each shortfall batches through the vectorised probe
+    # path with the exact flow/nonce sequence of the serial loop.
     seen: Set[int] = set()
     sent = 0
     answered_any = False
-    while sent < probes_required(max(len(seen), 1), confidence):
-        reply = prober.probe(dst, distance, flow_seed + sent)
-        result.probes_used += 1
-        sent += 1
-        if reply is None:
-            continue
-        if reply.is_echo:
-            # Path-length variation across flows; treat as no router here.
-            continue
-        answered_any = True
-        seen.add(reply.source)
+    while True:
+        required = probes_required(max(len(seen), 1), confidence)
+        if sent >= required:
+            break
+        replies = prober.probe_batch(
+            [dst] * (required - sent),
+            distance,
+            range(flow_seed + sent, flow_seed + required),
+        )
+        result.probes_used += required - sent
+        sent = required
+        for reply in replies:
+            if reply is None:
+                continue
+            if reply.is_echo:
+                # Path-length variation across flows; no router here.
+                continue
+            answered_any = True
+            seen.add(reply.source)
     result.lasthops = frozenset(seen)
     result.lasthop_unresponsive = not answered_any
     return result

@@ -80,22 +80,33 @@ def enumerate_hops(
         sent = 0
         saw_timeouts = False
         reached_here = False
-        while sent < min(
-            probes_required(max(len(interfaces), 1), confidence),
-            max_probes_per_hop,
-        ):
-            reply = prober.probe(dst, ttl, flow_seed + sent)
-            sent += 1
-            result.probes_used += 1
-            if reply is None:
-                saw_timeouts = True
-                continue
-            if reply.is_echo:
-                reached_here = True
-                # Path-length variation could mix echoes with router
-                # replies at one TTL; keep collecting the routers.
-                continue
-            interfaces.add(reply.source)
+        # probes_required is nondecreasing in |interfaces| (and the cap
+        # is constant), so the serial loop would send every probe of the
+        # shortfall before the requirement could change — batch them.
+        while True:
+            required = min(
+                probes_required(max(len(interfaces), 1), confidence),
+                max_probes_per_hop,
+            )
+            if sent >= required:
+                break
+            replies = prober.probe_batch(
+                [dst] * (required - sent),
+                ttl,
+                range(flow_seed + sent, flow_seed + required),
+            )
+            result.probes_used += required - sent
+            sent = required
+            for reply in replies:
+                if reply is None:
+                    saw_timeouts = True
+                    continue
+                if reply.is_echo:
+                    reached_here = True
+                    # Path-length variation could mix echoes with router
+                    # replies at one TTL; keep collecting the routers.
+                    continue
+                interfaces.add(reply.source)
         if reached_here and not interfaces:
             result.reached = True
             return result

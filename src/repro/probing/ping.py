@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from .session import Prober
+from .session import ECHO_TTL, Prober
 
 DEFAULT_PING_COUNT = 20
 DEFAULT_INTERVAL_SECONDS = 0.5
@@ -55,9 +55,11 @@ def ping(
 ) -> PingResult:
     """Send ``count`` echo probes spaced ``interval_seconds`` apart."""
     result = PingResult(addr=addr)
-    for index in range(count):
-        if index:
-            prober.internet.advance_clock(interval_seconds)
-        reply = prober.echo(addr, flow_id)
-        result.rtts_ms.append(reply.rtt_ms if reply is not None else None)
+    replies = prober.probe_batch(
+        [addr] * count, ECHO_TTL, flow_id,
+        inter_probe_seconds=interval_seconds,
+    )
+    result.rtts_ms = [
+        reply.rtt_ms if reply is not None else None for reply in replies
+    ]
     return result

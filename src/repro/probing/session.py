@@ -8,7 +8,7 @@ cap runaway probing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..netsim.icmp import IcmpReply
 from ..netsim.internet import SimulatedInternet
@@ -111,6 +111,49 @@ class Prober:
             else:
                 self.stats.ttl_exceeded += 1
         return reply
+
+    def probe_batch(
+        self,
+        dsts: Sequence[int],
+        ttl: int,
+        flow_ids: Union[int, Sequence[int]] = 0,
+        inter_probe_seconds: float = 0.0,
+    ) -> List[Optional[IcmpReply]]:
+        """Send one probe per destination at one TTL, batched.
+
+        Bit-identical to probing ``dsts`` one by one (with
+        ``inter_probe_seconds`` of clock between consecutive probes) —
+        the simulator vectorises the stochastic draws but sequences the
+        nonce and clock exactly as the serial loop. Budgeted sessions
+        take the serial path so :class:`ProbeBudgetExceeded` raises at
+        exactly the same probe it would have.
+        """
+        count = len(dsts)
+        if isinstance(flow_ids, int):
+            flows: Sequence[int] = (flow_ids,) * count
+        else:
+            flows = flow_ids
+            if len(flows) != count:
+                raise ValueError("flow_ids must match dsts in length")
+        if self.max_probes is not None:
+            replies: List[Optional[IcmpReply]] = []
+            for index in range(count):
+                if index and inter_probe_seconds:
+                    self.internet.advance_clock(inter_probe_seconds)
+                replies.append(self.probe(dsts[index], ttl, flows[index]))
+            return replies
+        replies = self.internet.send_probe_batch(
+            dsts, ttl, flows, self.source, inter_probe_seconds
+        )
+        self.stats.sent += count
+        for reply in replies:
+            if reply is not None:
+                self.stats.answered += 1
+                if reply.is_echo:
+                    self.stats.echo_replies += 1
+                else:
+                    self.stats.ttl_exceeded += 1
+        return replies
 
     def echo(self, dst: int, flow_id: int = 0) -> Optional[IcmpReply]:
         """An ICMP Echo Request with a standard TTL."""

@@ -25,7 +25,7 @@ from typing import Dict, Iterable, List, Optional
 from ..net.addr import slash24_of, slash26_of
 from ..net.prefix import Prefix
 from ..netsim.internet import SimulatedInternet
-from .session import Prober
+from .session import ECHO_TTL, Prober
 
 
 @dataclass
@@ -107,10 +107,25 @@ def scan_with_probes(
     snapshot = ActivitySnapshot(epoch=internet.current_epoch)
     for slash24 in slash24s:
         active: List[int] = []
-        for addr in slash24:
-            reply = prober.echo_with_retries(addr, retries=retries)
-            if reply is not None and reply.is_echo:
-                active.append(addr)
+        if retries == 0:
+            # One probe per address with no adaptive retransmission:
+            # the whole /24 batches through the vectorised probe path
+            # (bit-identical to the serial loop below).
+            addrs = list(slash24)
+            replies = prober.probe_batch(addrs, ECHO_TTL)
+            active = [
+                addr
+                for addr, reply in zip(addrs, replies)
+                if reply is not None and reply.is_echo
+            ]
+        else:
+            # Retransmissions are adaptive (each address consumes a
+            # reply-dependent number of nonces), so batching across
+            # addresses would change the probe sequence.
+            for addr in slash24:
+                reply = prober.echo_with_retries(addr, retries=retries)
+                if reply is not None and reply.is_echo:
+                    active.append(addr)
         if active:
             snapshot.active_by_slash24[slash24.network] = active
     return snapshot

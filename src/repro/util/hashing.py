@@ -50,3 +50,44 @@ def stable_string_hash(text: str, seed: int = 0) -> int:
     for byte in text.encode("utf-8"):
         state = splitmix64(state ^ byte)
     return state
+
+
+# ---------------------------------------------------------------------------
+# Vectorised equivalents (numpy). Tests assert bitwise agreement with the
+# scalar functions, which is what lets the batched probe engine evaluate a
+# whole batch's draws eagerly: every draw is a pure function of its inputs.
+# ---------------------------------------------------------------------------
+
+import numpy as np  # noqa: E402  (kept below the scalar core it mirrors)
+
+_TO_UNIT = 1.0 / float(1 << 64)
+
+
+def splitmix64_np(values: "np.ndarray") -> "np.ndarray":
+    """:func:`splitmix64` over a uint64 array (bitwise identical)."""
+    with np.errstate(over="ignore"):
+        v = (values + np.uint64(_GOLDEN)).astype(np.uint64)
+        v ^= v >> np.uint64(30)
+        v *= np.uint64(0xBF58476D1CE4E5B9)
+        v ^= v >> np.uint64(27)
+        v *= np.uint64(0x94D049BB133111EB)
+        v ^= v >> np.uint64(31)
+    return v
+
+
+def mix_np(seed: int, values: "np.ndarray", *extra: int) -> "np.ndarray":
+    """Vectorised ``mix(seed, value, *extra)`` over an array of values."""
+    state0 = np.uint64(splitmix64(seed & MASK64))
+    v = splitmix64_np(state0 ^ values.astype(np.uint64))
+    for value in extra:
+        v = splitmix64_np(v ^ np.uint64(value & MASK64))
+    return v
+
+
+def unit_np(hashes: "np.ndarray") -> "np.ndarray":
+    """Vectorised ``mix_to_unit`` finish: uint64 hashes → floats in [0, 1).
+
+    ``x.astype(float64) * 2**-64`` produces the same float64 as the
+    scalar ``x / float(1 << 64)`` for every uint64 (both round once).
+    """
+    return hashes.astype(np.float64) * _TO_UNIT
