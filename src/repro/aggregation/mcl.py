@@ -20,6 +20,9 @@ from typing import List
 import numpy as np
 from scipy import sparse
 
+from ..obs.metrics import current_metrics
+from ..obs.trace import span, trace_warning
+
 DEFAULT_INFLATION = 2.0
 DEFAULT_PRUNE_THRESHOLD = 1e-4
 DEFAULT_MAX_ITERATIONS = 128
@@ -65,15 +68,31 @@ def mcl(
 
     converged = False
     iterations = 0
-    for iterations in range(1, max_iterations + 1):
-        previous = matrix.copy()
-        matrix = matrix @ matrix  # expansion
-        matrix = _inflate(matrix, inflation)
-        matrix = _prune(matrix, prune_threshold)
-        matrix = _normalize_columns(matrix)
-        if _has_converged(matrix, previous, convergence_tol):
-            converged = True
-            break
+    with span("mcl.run", vertices=n, inflation=inflation):
+        for iterations in range(1, max_iterations + 1):
+            previous = matrix.copy()
+            matrix = matrix @ matrix  # expansion
+            matrix = _inflate(matrix, inflation)
+            matrix = _prune(matrix, prune_threshold)
+            matrix = _normalize_columns(matrix)
+            if _has_converged(matrix, previous, convergence_tol):
+                converged = True
+                break
+    registry = current_metrics()
+    registry.count("mcl.runs")
+    registry.count("mcl.iterations", iterations)
+    if not converged:
+        # Hitting the iteration cap degrades clustering quality without
+        # failing anything downstream — exactly the kind of silence the
+        # journal exists to break.
+        registry.count("mcl.unconverged")
+        trace_warning(
+            "mcl.unconverged",
+            f"MCL hit the {max_iterations}-iteration cap on a "
+            f"{n}-vertex graph without converging",
+            vertices=n,
+            inflation=inflation,
+        )
     clusters = _interpret(matrix, n)
     return MclResult(clusters=clusters, iterations=iterations, converged=converged)
 

@@ -5,18 +5,28 @@ Examples::
     hobbit-repro list
     hobbit-repro run table1 --profile small
     hobbit-repro run all --profile tiny --store ./hobbit-store
+    hobbit-repro run table1 --profile tiny --workers 2 --trace t.jsonl
+    hobbit-repro trace summarize t.jsonl
     hobbit-repro scenario --profile small
     hobbit-repro store info ./hobbit-store
 
 A ``--store PATH`` (or ``$REPRO_STORE``) attaches the on-disk
 measurement store: campaigns checkpoint each completed /24 there and
 warm reruns replay stored measurements instead of re-probing.
+
+A ``--trace PATH`` (or ``$REPRO_TRACE``) opens the observability
+journal: every campaign phase, per-/24 measurement, store replay and
+degradation warning lands in an append-only JSONL file, and the run's
+closing manifest (seed, engine mode, phase wall-clocks, probe totals)
+is written as ``run.json`` next to it. ``$REPRO_PROGRESS=1`` adds a
+rate-limited campaign progress line on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -27,10 +37,21 @@ from .experiments import (
     get_workspace,
     run_experiment,
 )
+from .obs import (
+    build_manifest,
+    configure_tracing,
+    current_metrics,
+    manifest_path_for,
+    summarize_trace,
+    trace_path_from_env,
+    tracer,
+    write_run_manifest,
+)
 from .util.fileio import atomic_writer
 from .util.tables import render_table
 
 STORE_ACTIONS = ("ls", "info", "verify", "gc")
+TRACE_ACTIONS = ("summarize",)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_argument(run_parser)
     _add_store_argument(run_parser)
+    _add_trace_argument(run_parser)
 
     scenario_parser = subparsers.add_parser(
         "scenario", help="describe the profile's scenario and ground truth"
@@ -83,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_argument(export_parser)
     _add_store_argument(export_parser)
+    _add_trace_argument(export_parser)
 
     validate_parser = subparsers.add_parser(
         "validate",
@@ -93,6 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_argument(validate_parser)
     _add_store_argument(validate_parser)
+    _add_trace_argument(validate_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect an observability trace journal"
+    )
+    trace_parser.add_argument(
+        "action",
+        choices=TRACE_ACTIONS,
+        help="summarize: aggregate spans, events and warnings",
+    )
+    trace_parser.add_argument("path", help="trace journal (JSONL)")
 
     store_parser = subparsers.add_parser(
         "store", help="inspect and maintain a measurement store"
@@ -140,6 +174,58 @@ def _add_store_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append a JSONL observability journal to PATH and write a "
+            "run.json manifest next to it (default: $REPRO_TRACE or off)"
+        ),
+    )
+
+
+def _configure_trace(trace: Optional[str]) -> Optional[str]:
+    """Install the run's tracer (CLI flag wins over $REPRO_TRACE)."""
+    path = trace or trace_path_from_env()
+    configure_tracing(path)
+    return path
+
+
+def _finish_trace(
+    trace_path: Optional[str],
+    command: str,
+    workspace,
+    extra: Optional[dict] = None,
+) -> None:
+    """Close the journal and write the per-run ``run.json`` manifest."""
+    if trace_path is None:
+        return
+    from .netsim.routing import reference_engine_enabled
+
+    internet = workspace._internet
+    document = build_manifest(
+        command=command,
+        profile=workspace.profile.name,
+        scenario_seed=workspace.profile.scenario_seed,
+        workers=workspace.workers,
+        engine=(
+            "reference" if reference_engine_enabled() else "compiled"
+        ),
+        store_path=workspace.store_path,
+        trace_path=os.path.abspath(trace_path),
+        registry=current_metrics(),
+        internet_stats=internet.stats() if internet is not None else None,
+        extra=extra,
+    )
+    manifest_path = write_run_manifest(
+        manifest_path_for(trace_path), document
+    )
+    tracer().close()
+    print(f"wrote trace {trace_path} and manifest {manifest_path}")
+
+
 def command_list() -> int:
     rows = [[experiment_id] for experiment_id in experiment_ids()]
     print(render_table(["experiment"], rows))
@@ -152,7 +238,9 @@ def command_run(
     json_path: Optional[str] = None,
     workers: Optional[int] = None,
     store: Optional[str] = None,
+    trace: Optional[str] = None,
 ) -> int:
+    trace_path = _configure_trace(trace)
     workspace = get_workspace(profile, workers=workers, store_path=store)
     chosen = experiment_ids() if ids == ["all"] else ids
     failures = 0
@@ -165,8 +253,18 @@ def command_run(
             print(error, file=sys.stderr)
             return 2
         except Exception as error:  # surface which experiment broke
+            elapsed = time.perf_counter() - start
             failures += 1
             print(f"[{experiment_id}] FAILED: {error}", file=sys.stderr)
+            # The failure stays in the JSON document: a consumer must be
+            # able to tell "failed" from "not requested".
+            documents.append(
+                {
+                    "experiment": experiment_id,
+                    "error": str(error),
+                    "seconds": round(elapsed, 2),
+                }
+            )
             continue
         elapsed = time.perf_counter() - start
         print(result.render())
@@ -188,12 +286,20 @@ def command_run(
             json.dump(
                 {
                     "profile": workspace.profile.name,
+                    "failures": failures,
                     "experiments": documents,
                 },
                 handle,
                 indent=2,
             )
         print(f"wrote {json_path}")
+    _finish_trace(
+        trace_path, "run", workspace,
+        extra={
+            "experiments": chosen,
+            "failures": failures,
+        },
+    )
     return 1 if failures else 0
 
 
@@ -213,15 +319,18 @@ def command_export(
     profile: Optional[str],
     workers: Optional[int] = None,
     store: Optional[str] = None,
+    trace: Optional[str] = None,
 ) -> int:
     from .analysis.figures import export_figures
 
+    trace_path = _configure_trace(trace)
     workspace = get_workspace(profile, workers=workers, store_path=store)
     workspace.ensure_built()
     written = export_figures(workspace, directory)
     for path in written:
         print(path)
     print(f"wrote {len(written)} series files to {directory}")
+    _finish_trace(trace_path, "export", workspace)
     return 0
 
 
@@ -229,9 +338,11 @@ def command_validate(
     profile: Optional[str],
     workers: Optional[int] = None,
     store: Optional[str] = None,
+    trace: Optional[str] = None,
 ) -> int:
     from .analysis.scoring import score_pipeline
 
+    trace_path = _configure_trace(trace)
     workspace = get_workspace(profile, workers=workers, store_path=store)
     workspace.ensure_built()
     report = score_pipeline(
@@ -243,7 +354,60 @@ def command_validate(
         ["quantity", "value"], report.rows(),
         title=f"pipeline vs ground truth ({workspace.profile.name})",
     ))
+    _finish_trace(trace_path, "validate", workspace)
     return 0
+
+
+def command_trace(action: str, path: str) -> int:
+    """Aggregate a trace journal into spans/events/warnings tables."""
+    if not os.path.exists(path):
+        print(f"no trace journal at {path}", file=sys.stderr)
+        return 2
+    summary = summarize_trace(path)
+    span_rows = [
+        [
+            name,
+            entry.count,
+            f"{entry.total_seconds:.3f}",
+            f"{entry.mean_seconds * 1e3:.2f}",
+            f"{entry.max_seconds * 1e3:.2f}",
+            entry.errors,
+        ]
+        for name, entry in sorted(
+            summary.spans.items(),
+            key=lambda item: -item[1].total_seconds,
+        )
+    ]
+    print(render_table(
+        ["span", "count", "total s", "mean ms", "max ms", "errors"],
+        span_rows,
+        title=f"trace {path} ({summary.events} events)",
+    ))
+    if summary.event_counts:
+        print()
+        print(render_table(
+            ["event", "count"],
+            sorted(summary.event_counts.items()),
+            title="events",
+        ))
+    for warning in summary.warnings:
+        print(
+            f"WARNING {warning.get('name')}: {warning.get('message')}",
+            file=sys.stderr,
+        )
+    if summary.corrupt_lines:
+        print(
+            f"{summary.corrupt_lines} corrupt line(s) skipped "
+            "(truncated tail from a killed run?)",
+            file=sys.stderr,
+        )
+    if summary.unclosed_spans:
+        print(
+            f"{summary.unclosed_spans} span(s) never closed "
+            "(run killed mid-phase?)",
+            file=sys.stderr,
+        )
+    return 0 if summary.clean else 1
 
 
 def command_store(action: str, path: Optional[str]) -> int:
@@ -304,16 +468,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return command_run(
             args.experiments, args.profile, args.json, args.workers,
-            args.store,
+            args.store, args.trace,
         )
     if args.command == "scenario":
         return command_scenario(args.profile)
     if args.command == "export":
         return command_export(
-            args.directory, args.profile, args.workers, args.store
+            args.directory, args.profile, args.workers, args.store,
+            args.trace,
         )
     if args.command == "validate":
-        return command_validate(args.profile, args.workers, args.store)
+        return command_validate(
+            args.profile, args.workers, args.store, args.trace
+        )
+    if args.command == "trace":
+        return command_trace(args.action, args.path)
     if args.command == "store":
         return command_store(args.action, args.path)
     raise AssertionError("unreachable")

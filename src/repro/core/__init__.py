@@ -37,6 +37,7 @@ from .hierarchy import (
 )
 from .pipeline import (
     CampaignResult,
+    ParallelFallbackWarning,
     default_policy,
     run_campaign,
     run_campaign_parallel,
@@ -66,6 +67,7 @@ __all__ = [
     "MIN_ACTIVE_ADDRESSES",
     "Observations",
     "PAPER_SAMPLES_PER_CELL",
+    "ParallelFallbackWarning",
     "ReprobePolicy",
     "Slash24Measurement",
     "StopReason",

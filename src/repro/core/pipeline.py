@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import pickle
 import random
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -31,12 +32,25 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..net.prefix import Prefix
 from ..netsim.internet import SimulatedInternet
+from ..obs.metrics import MetricsRegistry, current_metrics
+from ..obs.progress import ProgressReporter, progress_enabled
+from ..obs.trace import configure_tracing, span, trace_event, trace_warning
 from ..probing.session import ProbeBudgetExceeded, Prober, ProbeStats
 from ..probing.zmap import ActivitySnapshot, scan
 from ..util.hashing import mix, stable_string_hash
 from .classifier import Category, Slash24Measurement, measure_slash24
 from .confidence import ConfidenceTable
 from .termination import ReprobePolicy, TerminationPolicy
+
+
+class ParallelFallbackWarning(RuntimeWarning):
+    """A ``workers=N`` campaign degraded to the serial path.
+
+    Results are identical either way (the executor's core contract),
+    but the wall-clock gain the caller asked for silently vanished —
+    which is exactly the kind of degradation a measurement study must
+    be able to see. Raised as a *warning* (not an error) because the
+    serial result is still correct."""
 
 #: Domain separators for the campaign's derived randomness, so the RNG
 #: stream, the probe-nonce stream and the end-of-campaign state never
@@ -211,26 +225,97 @@ _CHUNKS_PER_WORKER = 4
 
 def _init_shard_worker(payload: bytes) -> None:
     _WORKER_CONTEXT["campaign"] = pickle.loads(payload)
+    # Workers never write the parent's trace journal: concurrent
+    # appends from several processes would interleave. Their telemetry
+    # flows back as a metrics registry per chunk instead.
+    configure_tracing(None)
+
+
+def _fold_measurement_metrics(
+    registry: MetricsRegistry,
+    measurement: Slash24Measurement,
+    stats: ProbeStats,
+) -> None:
+    """One /24's contribution to the campaign-wide counters.
+
+    Serial execution and parallel workers fold through this same
+    helper, so merged shard registries reconstruct the serial totals
+    bit-identically (integer sums are associative and commutative).
+    """
+    registry.count("campaign.slash24s")
+    stats.fold_into(registry, "campaign.probes")
+    registry.count(
+        f"campaign.categories.{measurement.category.name.lower()}"
+    )
 
 
 def _measure_shard(
     shard: List[_ShardItem],
-) -> List[Tuple[Slash24Measurement, ProbeStats]]:
+) -> Tuple[
+    List[Tuple[Slash24Measurement, ProbeStats]], MetricsRegistry, Tuple
+]:
     """Measure one chunk of /24s in the worker's private simulator copy.
 
-    Returns per-/24 (measurement, probe stats) pairs in chunk order, so
-    the parent can checkpoint each /24 with its own probe accounting.
+    Returns per-/24 (measurement, probe stats) pairs in chunk order (so
+    the parent can checkpoint each /24 with its own probe accounting),
+    the chunk's metrics registry, and the worker engine's timing deltas
+    — (probe_seconds, probe_batches, batched_probes) — which the parent
+    folds into its simulator so post-campaign ``stats()`` attribution
+    matches the serial run's semantics.
     """
     internet, policy, seed, clock_base, max_destinations = _WORKER_CONTEXT[
         "campaign"
     ]
-    return [
+    base_seconds = internet.probe_seconds
+    base_batches = internet.probe_batches
+    base_batched = internet.batched_probes
+    registry = MetricsRegistry()
+    pairs = [
         _measure_in_context(
             internet, policy, slash24, snapshot_active,
             seed, clock_base, max_destinations,
         )
         for slash24, snapshot_active in shard
     ]
+    for measurement, stats in pairs:
+        _fold_measurement_metrics(registry, measurement, stats)
+    engine_deltas = (
+        internet.probe_seconds - base_seconds,
+        internet.probe_batches - base_batches,
+        internet.batched_probes - base_batched,
+    )
+    return pairs, registry, engine_deltas
+
+
+class _ParallelUnavailable(Exception):
+    """Internal: the parallel path cannot run; carries why."""
+
+    def __init__(self, reason: str, cause: BaseException) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.cause = cause
+
+
+def _note_parallel_fallback(
+    registry: MetricsRegistry, fallback: "_ParallelUnavailable"
+) -> None:
+    """Make a degraded-to-serial run visible on every channel: a Python
+    warning for interactive and test runs, a trace journal entry, and
+    ``campaign.parallel_fallback`` counters for programmatic checks."""
+    message = (
+        f"parallel campaign unavailable ({fallback.reason}): "
+        f"{fallback.cause!r}; continuing serially — results are "
+        "identical, but the requested parallel speedup was not applied"
+    )
+    warnings.warn(ParallelFallbackWarning(message), stacklevel=4)
+    registry.count("campaign.parallel_fallback")
+    registry.count(f"campaign.parallel_fallback.{fallback.reason}")
+    trace_warning(
+        "campaign.parallel_fallback",
+        message,
+        reason=fallback.reason,
+        error=repr(fallback.cause),
+    )
 
 
 def _run_shards_parallel(
@@ -243,23 +328,27 @@ def _run_shards_parallel(
     max_destinations: Optional[int],
     workers: int,
     cache=None,
-) -> Optional[Tuple[Dict[Prefix, Slash24Measurement], ProbeStats]]:
+    progress: Optional[ProgressReporter] = None,
+) -> Tuple[Dict[Prefix, Slash24Measurement], ProbeStats, MetricsRegistry, Tuple]:
     """Measure the /24 list on a process pool.
 
     Completed chunks are checkpointed into ``cache`` (when given) as
     they arrive, so a killed run preserves everything already merged.
 
-    Returns None when the simulator or policy cannot ship to workers
-    (unpicklable scenario, pool start failure) — the caller then falls
-    back to the serial path, which produces identical results anyway.
+    Returns the merged (measurements, probe stats, shard metrics,
+    engine timing deltas). Raises :class:`_ParallelUnavailable` when
+    the simulator or policy cannot ship to workers (unpicklable
+    scenario, pool start failure) — the caller then falls back to the
+    serial path, which produces identical results anyway, and reports
+    the degradation.
     """
     try:
         payload = pickle.dumps(
             (internet, policy, seed, clock_base, max_destinations),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-    except Exception:
-        return None
+    except Exception as error:
+        raise _ParallelUnavailable("unpicklable", error) from error
     shard_count = min(workers, len(slash24s))
     chunk_count = min(len(slash24s), shard_count * _CHUNKS_PER_WORKER)
     # Interleave assignment: adjacent prefixes have correlated probing
@@ -270,6 +359,10 @@ def _run_shards_parallel(
     ]
     by_prefix: Dict[Prefix, Slash24Measurement] = {}
     stats = ProbeStats()
+    shard_metrics = MetricsRegistry()
+    engine_seconds = 0.0
+    engine_batches = 0
+    engine_batched = 0
     try:
         with ProcessPoolExecutor(
             max_workers=shard_count,
@@ -280,7 +373,7 @@ def _run_shards_parallel(
                 pool.submit(_measure_shard, chunk): chunk for chunk in chunks
             }
             for future in as_completed(future_chunks):
-                pairs = future.result()
+                pairs, chunk_metrics, deltas = future.result()
                 chunk = future_chunks[future]
                 for (slash24, active), (measurement, pair_stats) in zip(
                     chunk, pairs
@@ -289,9 +382,20 @@ def _run_shards_parallel(
                         cache.record(slash24, active, measurement, pair_stats)
                     by_prefix[slash24] = measurement
                     stats.merge(pair_stats)
-    except (OSError, BrokenProcessPool):
-        return None
-    return by_prefix, stats
+                shard_metrics.merge(chunk_metrics)
+                engine_seconds += deltas[0]
+                engine_batches += deltas[1]
+                engine_batched += deltas[2]
+                if progress is not None:
+                    progress.update(len(by_prefix), probes=stats.sent)
+    except (OSError, BrokenProcessPool) as error:
+        raise _ParallelUnavailable("pool_failure", error) from error
+    return (
+        by_prefix,
+        stats,
+        shard_metrics,
+        (engine_seconds, engine_batches, engine_batched),
+    )
 
 
 def _bind_store(
@@ -330,6 +434,7 @@ def run_campaign(
     max_destinations_per_slash24: Optional[int] = None,
     workers: int = 1,
     store=None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> CampaignResult:
     """Measure every selected /24 and classify it.
 
@@ -353,18 +458,55 @@ def run_campaign(
     the deterministic end-of-campaign clock (downstream stages see the
     same world), but ``internet.probe_count`` only counts probes this
     run actually sent.
+
+    ``metrics`` names the registry campaign accounting folds into
+    (default: the ambient :func:`repro.obs.metrics.current_metrics`).
+    The totals are identical — bit for bit — between the serial and
+    parallel paths; the execution path itself is recorded under
+    ``campaign.parallel`` / ``campaign.parallel_fallback`` so a
+    degraded run is distinguishable from the one that was asked for.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    registry = metrics if metrics is not None else current_metrics()
     if snapshot is None:
         snapshot = scan(internet)
     if slash24s is None:
         slash24s = snapshot.eligible_slash24s()
     slash24s = list(slash24s)
+    with span("campaign.run", slash24s=len(slash24s), workers=workers):
+        result = _run_campaign_observed(
+            internet, policy, slash24s, snapshot, seed, max_probes,
+            max_destinations_per_slash24, workers, store, registry,
+        )
+    return result
+
+
+def _run_campaign_observed(
+    internet: SimulatedInternet,
+    policy: TerminationPolicy | ReprobePolicy,
+    slash24s: List[Prefix],
+    snapshot: ActivitySnapshot,
+    seed: int,
+    max_probes: Optional[int],
+    max_destinations_per_slash24: Optional[int],
+    workers: int,
+    store,
+    registry: MetricsRegistry,
+) -> CampaignResult:
     clock_base = internet.clock_seconds
+    engine_base = (
+        internet.probe_count, internet.probe_seconds,
+        internet.probe_batches, internet.batched_probes,
+    )
     cache = _bind_store(
         store, internet, policy, seed, clock_base,
         max_destinations_per_slash24,
+    )
+    cache_base = (
+        (cache.hits, cache.misses)
+        if cache is not None and hasattr(cache, "hits")
+        else None
     )
     cached: Dict[Prefix, Tuple[Slash24Measurement, ProbeStats]] = {}
     pending: List[Prefix] = []
@@ -377,20 +519,39 @@ def run_campaign(
                 pending.append(slash24)
     else:
         pending = slash24s
+    progress = (
+        ProgressReporter(len(slash24s)) if progress_enabled() else None
+    )
     result = CampaignResult()
     stats = ProbeStats()
 
     parallel = None
-    if workers > 1 and max_probes is None and pending:
-        parallel = _run_shards_parallel(
-            internet, policy, pending, snapshot, seed, clock_base,
-            max_destinations_per_slash24, workers, cache=cache,
-        )
+    if workers > 1 and pending:
+        if max_probes is not None:
+            # Documented behaviour (a campaign-wide budget needs serial
+            # accounting), but still worth a breadcrumb in the journal.
+            registry.count("campaign.parallel_skipped.budget")
+            trace_event(
+                "campaign.parallel_skipped", reason="max_probes",
+                workers=workers,
+            )
+        else:
+            try:
+                parallel = _run_shards_parallel(
+                    internet, policy, pending, snapshot, seed, clock_base,
+                    max_destinations_per_slash24, workers, cache=cache,
+                    progress=progress,
+                )
+            except _ParallelUnavailable as fallback:
+                _note_parallel_fallback(registry, fallback)
     if parallel is not None:
-        by_prefix, fresh_stats = parallel
-        stats.merge(fresh_stats)
-        for _, replay_stats in cached.values():
+        by_prefix, fresh_stats, shard_metrics, engine_deltas = parallel
+        registry.count("campaign.parallel")
+        registry.merge(shard_metrics)
+        for measurement, replay_stats in cached.values():
             stats.merge(replay_stats)
+            _fold_measurement_metrics(registry, measurement, replay_stats)
+        stats.merge(fresh_stats)
         # Re-insert following the input order so even the measurement
         # dict's iteration order matches the serial run exactly.
         for slash24 in slash24s:
@@ -399,11 +560,16 @@ def run_campaign(
             else:
                 result.add(by_prefix[slash24])
         # The parent simulator never saw the workers' probes; account
-        # for them so diagnostics match the serial run. (Replayed /24s
-        # sent nothing, so they don't count here.)
+        # for them — counts *and* engine timing — so diagnostics match
+        # the serial run. (Replayed /24s sent nothing, so they don't
+        # count here.)
         internet.probe_count += fresh_stats.sent
+        internet.probe_seconds += engine_deltas[0]
+        internet.probe_batches += engine_deltas[1]
+        internet.batched_probes += engine_deltas[2]
     else:
         remaining = max_probes
+        done = 0
         for slash24 in slash24s:
             if slash24 in cached:
                 measurement, measure_stats = cached[slash24]
@@ -415,11 +581,13 @@ def run_campaign(
                         f"budget exhausted replaying {slash24} from store"
                     )
             else:
-                measurement, measure_stats = _measure_in_context(
-                    internet, policy, slash24, snapshot.active_in(slash24),
-                    seed, clock_base, max_destinations_per_slash24,
-                    max_probes=remaining,
-                )
+                with span("campaign.slash24", prefix=slash24):
+                    measurement, measure_stats = _measure_in_context(
+                        internet, policy, slash24,
+                        snapshot.active_in(slash24),
+                        seed, clock_base, max_destinations_per_slash24,
+                        max_probes=remaining,
+                    )
                 if cache is not None:
                     cache.record(
                         slash24, snapshot.active_in(slash24),
@@ -428,7 +596,38 @@ def run_campaign(
             if remaining is not None:
                 remaining -= measure_stats.sent
             stats.merge(measure_stats)
+            _fold_measurement_metrics(registry, measurement, measure_stats)
             result.add(measurement)
+            done += 1
+            if progress is not None:
+                progress.update(
+                    done,
+                    probes=stats.sent,
+                    store_hits=len(cached),
+                    store_lookups=len(slash24s) if cache is not None else 0,
+                )
+
+    # Honest what-actually-ran accounting: netsim.* counts probes this
+    # process (and its workers) physically sent, while campaign.probes.*
+    # above includes store replays — the gap between the two *is* the
+    # store's savings.
+    registry.gauge("campaign.workers", workers)
+    registry.count("netsim.probes", internet.probe_count - engine_base[0])
+    registry.add_seconds(
+        "netsim.probe_seconds", internet.probe_seconds - engine_base[1],
+        calls=0,
+    )
+    registry.count(
+        "netsim.probe_batches", internet.probe_batches - engine_base[2]
+    )
+    registry.count(
+        "netsim.batched_probes", internet.batched_probes - engine_base[3]
+    )
+    if cache_base is not None:
+        registry.count("campaign.store.hits", cache.hits - cache_base[0])
+        registry.count("campaign.store.misses", cache.misses - cache_base[1])
+    if progress is not None:
+        progress.finish(probes=stats.sent)
 
     # Leave the simulator in a deterministic end state — virtual time
     # advanced by the campaign's (order-invariant) total probe count —
@@ -452,6 +651,7 @@ def run_campaign_parallel(
     max_destinations_per_slash24: Optional[int] = None,
     workers: int = 4,
     store=None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> CampaignResult:
     """Sharded campaign executor: :func:`run_campaign` across a worker
     pool. Kept as a named entry point for callers that always want the
@@ -465,6 +665,7 @@ def run_campaign_parallel(
         max_destinations_per_slash24=max_destinations_per_slash24,
         workers=workers,
         store=store,
+        metrics=metrics,
     )
 
 

@@ -30,6 +30,8 @@ from . import (
     table4,
     table5,
 )
+from ..obs.metrics import current_metrics
+from ..obs.trace import span
 from .common import ExperimentResult, Workspace
 
 Runner = Callable[[Workspace], ExperimentResult]
@@ -75,4 +77,9 @@ def run_experiment(experiment_id: str, workspace: Workspace) -> ExperimentResult
             f"known: {', '.join(EXPERIMENTS)}"
         ) from None
     workspace.ensure_built()
-    return runner(workspace)
+    registry = current_metrics()
+    registry.count("experiments.runs")
+    with span("experiment", id=experiment_id), registry.time(
+        f"experiment.{experiment_id}"
+    ):
+        return runner(workspace)

@@ -56,6 +56,15 @@ class ProbeStats:
             total.merge(part)
         return total
 
+    def fold_into(self, registry, prefix: str = "probes") -> None:
+        """Record these counters into a metrics registry (see
+        :mod:`repro.obs.metrics`) under ``prefix`` — the bridge between
+        per-session accounting and campaign-wide observability."""
+        registry.count(f"{prefix}.sent", self.sent)
+        registry.count(f"{prefix}.answered", self.answered)
+        registry.count(f"{prefix}.echo_replies", self.echo_replies)
+        registry.count(f"{prefix}.ttl_exceeded", self.ttl_exceeded)
+
     # -- serialization (the on-disk measurement store keeps each /24's
     # -- probe accounting next to its measurement) ------------------------
 

@@ -18,6 +18,7 @@ from typing import Optional, Sequence, Tuple
 
 from ..core.classifier import Slash24Measurement
 from ..net.prefix import Prefix
+from ..obs.trace import trace_event
 from ..probing.session import ProbeStats
 from .codec import KIND_SLASH24, decode_slash24_record, slash24_record
 from .fingerprint import (
@@ -80,6 +81,9 @@ class CampaignCache:
             self.misses += 1
             return None
         self.hits += 1
+        trace_event(
+            "store.replay", prefix=slash24, probes_saved=stats.sent
+        )
         return measurement, stats
 
     def record(
@@ -98,3 +102,4 @@ class CampaignCache:
                 stats,
             )
         )
+        trace_event("store.checkpoint", prefix=slash24, probes=stats.sent)

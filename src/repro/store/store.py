@@ -28,6 +28,7 @@ import os
 from dataclasses import dataclass, field
 from typing import IO, Any, Dict, Iterator, List, Optional, Tuple
 
+from ..obs.trace import span, trace_event, trace_warning
 from ..util.fileio import atomic_write_text, atomic_writer
 from ..util.hashing import stable_string_hash
 from . import segment as segmod
@@ -139,6 +140,23 @@ class MeasurementStore:
                 if key in self._index:
                     self.superseded += 1
                 self._index[key] = (shard, document)
+        # Recovery that drops data must never be silent: a store that
+        # opened with damaged interior records serves fewer cached
+        # measurements than the caller durably checkpointed.
+        if self.corrupt_records:
+            trace_warning(
+                "store.corrupt_on_open",
+                f"{len(self.corrupt_records)} damaged records skipped "
+                f"while opening {self.root} (run `store gc` to compact)",
+                records=len(self.corrupt_records),
+            )
+        trace_event(
+            "store.opened",
+            path=self.root,
+            records=len(self._index),
+            corrupt=len(self.corrupt_records),
+            superseded=self.superseded,
+        )
 
     def close(self) -> None:
         for handle in self._append_handles.values():
@@ -192,15 +210,24 @@ class MeasurementStore:
     def verify(self) -> VerifyReport:
         """Re-scan every segment from disk, checking all checksums."""
         report = VerifyReport()
-        for shard in range(self.shards):
-            path = self._segment_path(shard)
-            if not os.path.exists(path):
-                continue
-            outcome = segmod.scan(path)
-            report.records_ok += len(outcome.records)
-            report.corrupt.extend(outcome.corrupt)
-            if outcome.has_truncated_tail:
-                report.truncated_tails += 1
+        with span("store.verify", path=self.root):
+            for shard in range(self.shards):
+                path = self._segment_path(shard)
+                if not os.path.exists(path):
+                    continue
+                outcome = segmod.scan(path)
+                report.records_ok += len(outcome.records)
+                report.corrupt.extend(outcome.corrupt)
+                if outcome.has_truncated_tail:
+                    report.truncated_tails += 1
+        if not report.clean:
+            trace_warning(
+                "store.verify_failed",
+                f"verify found {len(report.corrupt)} corrupt records and "
+                f"{report.truncated_tails} truncated tails in {self.root}",
+                corrupt=len(report.corrupt),
+                truncated_tails=report.truncated_tails,
+            )
         return report
 
     def gc(self) -> Dict[str, int]:
@@ -210,6 +237,10 @@ class MeasurementStore:
         swapped in, so a crash mid-compaction leaves either the old or
         the new segment, never a mix.
         """
+        with span("store.gc", path=self.root):
+            return self._gc()
+
+    def _gc(self) -> Dict[str, int]:
         self.close()
         dropped_corrupt = 0
         dropped_superseded = 0
@@ -243,6 +274,13 @@ class MeasurementStore:
         # Rebuild the index from the compacted files.
         self._index.clear()
         self._load()
+        trace_event(
+            "store.gc_done",
+            path=self.root,
+            dropped_corrupt=dropped_corrupt,
+            dropped_superseded=dropped_superseded,
+            records=len(self._index),
+        )
         return {
             "dropped_corrupt": dropped_corrupt,
             "dropped_superseded": dropped_superseded,

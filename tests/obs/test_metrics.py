@@ -1,0 +1,174 @@
+"""Tests for the mergeable metrics registry.
+
+The registry's contract is what makes parallel-campaign telemetry
+work: plain-data (picklable) state, and a merge that reconstructs
+serial totals bit-identically from per-shard registries.
+"""
+
+import pickle
+import types
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, current_metrics, metrics_scope
+
+
+class TestRecording:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.count("campaign.slash24s")
+        registry.count("campaign.slash24s", 4)
+        assert registry.counter_value("campaign.slash24s") == 5
+
+    def test_counter_default(self):
+        assert MetricsRegistry().counter_value("missing") == 0
+        assert MetricsRegistry().counter_value("missing", default=-1) == -1
+
+    def test_gauge_keeps_latest(self):
+        registry = MetricsRegistry()
+        registry.gauge("campaign.workers", 2)
+        registry.gauge("campaign.workers", 8)
+        assert registry.gauge_value("campaign.workers") == 8
+
+    def test_timer_accumulates_seconds_and_calls(self):
+        registry = MetricsRegistry()
+        registry.add_seconds("phase.campaign", 1.5)
+        registry.add_seconds("phase.campaign", 0.5, calls=3)
+        assert registry.timer_seconds("phase.campaign") == 2.0
+        assert registry.timer_calls("phase.campaign") == 4
+
+    def test_timer_defaults(self):
+        registry = MetricsRegistry()
+        assert registry.timer_seconds("missing") == 0.0
+        assert registry.timer_calls("missing") == 0
+
+    def test_time_context_manager(self, monkeypatch):
+        ticks = iter([10.0, 12.5])
+        monkeypatch.setattr(
+            "repro.obs.metrics.time",
+            types.SimpleNamespace(perf_counter=lambda: next(ticks)),
+        )
+        registry = MetricsRegistry()
+        with registry.time("phase.scenario"):
+            pass
+        assert registry.timer_seconds("phase.scenario") == 2.5
+        assert registry.timer_calls("phase.scenario") == 1
+
+    def test_time_records_on_exception(self, monkeypatch):
+        ticks = iter([0.0, 1.0])
+        monkeypatch.setattr(
+            "repro.obs.metrics.time",
+            types.SimpleNamespace(perf_counter=lambda: next(ticks)),
+        )
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.time("phase.broken"):
+                raise RuntimeError("boom")
+        assert registry.timer_seconds("phase.broken") == 1.0
+
+
+class TestMerge:
+    def test_counters_add(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.count("a", 2)
+        right.count("a", 3)
+        right.count("b", 1)
+        assert left.merge(right) is left
+        assert left.counter_value("a") == 5
+        assert left.counter_value("b") == 1
+
+    def test_gauges_take_other_side(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.gauge("g", 1.0)
+        right.gauge("g", 7.0)
+        left.merge(right)
+        assert left.gauge_value("g") == 7.0
+
+    def test_timers_add_seconds_and_calls(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.add_seconds("t", 1.0, calls=2)
+        right.add_seconds("t", 0.25, calls=1)
+        left.merge(right)
+        assert left.timer_seconds("t") == 1.25
+        assert left.timer_calls("t") == 3
+
+    def test_shard_merge_reconstructs_serial_totals(self):
+        """Integer counter sums are associative and commutative: folding
+        per-shard registries in any order gives the serial totals."""
+        serial = MetricsRegistry()
+        shards = [MetricsRegistry() for _ in range(3)]
+        for index, amount in enumerate([5, 7, 11]):
+            serial.count("campaign.probes.sent", amount)
+            shards[index].count("campaign.probes.sent", amount)
+        merged = MetricsRegistry()
+        for shard in reversed(shards):
+            merged.merge(shard)
+        assert merged.counters == serial.counters
+
+
+class TestSerialization:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.count("campaign.slash24s", 24)
+        registry.gauge("campaign.workers", 4)
+        registry.add_seconds("phase.campaign", 1.75, calls=2)
+        return registry
+
+    def test_pickle_round_trip(self):
+        registry = self._populated()
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.counters == registry.counters
+        assert clone.gauges == registry.gauges
+        assert clone.timers == registry.timers
+
+    def test_to_dict_from_dict_round_trip(self):
+        registry = self._populated()
+        clone = MetricsRegistry.from_dict(registry.to_dict())
+        assert clone.counters == registry.counters
+        assert clone.gauges == registry.gauges
+        assert clone.timers == registry.timers
+
+    def test_to_dict_shape(self):
+        document = self._populated().to_dict()
+        assert document["counters"] == {"campaign.slash24s": 24}
+        assert document["gauges"] == {"campaign.workers": 4}
+        assert document["timers"]["phase.campaign"] == {
+            "seconds": 1.75,
+            "calls": 2,
+        }
+
+
+class TestSubtree:
+    def test_prefix_filters_by_dotted_path(self):
+        registry = MetricsRegistry()
+        registry.count("campaign.probes.sent", 9)
+        registry.count("campaign", 1)
+        registry.count("campaigns.other", 1)  # not under campaign.
+        registry.gauge("campaign.workers", 2)
+        registry.add_seconds("campaign.elapsed", 3.0)
+        selected = registry.subtree("campaign")
+        assert selected == {
+            "campaign": 1,
+            "campaign.probes.sent": 9,
+            "campaign.workers": 2,
+            "campaign.elapsed": 3.0,
+        }
+
+
+class TestAmbientScope:
+    def test_scope_installs_and_restores(self):
+        root = current_metrics()
+        with metrics_scope() as scoped:
+            assert current_metrics() is scoped
+            assert scoped is not root
+            with metrics_scope() as inner:
+                assert current_metrics() is inner
+            assert current_metrics() is scoped
+        assert current_metrics() is root
+
+    def test_scope_accepts_registry(self):
+        mine = MetricsRegistry()
+        with metrics_scope(mine) as scoped:
+            assert scoped is mine
+            current_metrics().count("hit")
+        assert mine.counter_value("hit") == 1

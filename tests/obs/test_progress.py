@@ -1,0 +1,109 @@
+"""Tests for the rate-limited campaign progress reporter."""
+
+import io
+
+from repro.obs.progress import ProgressReporter, progress_enabled
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _reporter(total=100, interval=1.0):
+    clock = FakeClock()
+    stream = io.StringIO()
+    reporter = ProgressReporter(
+        total,
+        stream=stream,
+        min_interval_seconds=interval,
+        clock=clock,
+    )
+    return reporter, clock, stream
+
+
+class TestRateLimiting:
+    def test_first_update_always_prints(self):
+        reporter, _, stream = _reporter()
+        assert reporter.update(1) is True
+        assert reporter.lines_emitted == 1
+        assert "[campaign] 1/100 /24s" in stream.getvalue()
+
+    def test_updates_within_interval_suppressed(self):
+        reporter, clock, _ = _reporter()
+        reporter.update(1)
+        clock.now = 0.5
+        assert reporter.update(2) is False
+        assert reporter.lines_emitted == 1
+
+    def test_update_after_interval_prints(self):
+        reporter, clock, _ = _reporter()
+        reporter.update(1)
+        clock.now = 1.5
+        assert reporter.update(2) is True
+        assert reporter.lines_emitted == 2
+
+    def test_force_ignores_rate_limit(self):
+        reporter, _, _ = _reporter()
+        reporter.update(1)
+        assert reporter.update(2, force=True) is True
+
+    def test_finish_prints_final_state(self):
+        reporter, _, stream = _reporter(total=10)
+        reporter.update(3)
+        reporter.finish(probes=500)
+        assert "10/10 /24s (100.0%)" in stream.getvalue().splitlines()[-1]
+
+
+class TestLineContents:
+    def test_probe_rate(self):
+        reporter, clock, stream = _reporter()
+        clock.now = 2.0
+        reporter.update(10, probes=1000)
+        assert "500 probes/s" in stream.getvalue()
+
+    def test_store_hit_rate_shown_when_lookups_happened(self):
+        reporter, _, stream = _reporter()
+        reporter.update(10, store_hits=3, store_lookups=4)
+        assert "store hit 75.0%" in stream.getvalue()
+
+    def test_store_hit_rate_hidden_without_lookups(self):
+        reporter, _, stream = _reporter()
+        reporter.update(10)
+        assert "store hit" not in stream.getvalue()
+
+    def test_eta_from_completed_fraction(self):
+        reporter, clock, stream = _reporter(total=100)
+        clock.now = 10.0  # 25 done in 10s -> 75 remaining at 2.5/s = 30s
+        reporter.update(25)
+        assert "ETA 30s" in stream.getvalue()
+
+    def test_eta_hidden_when_done(self):
+        reporter, clock, stream = _reporter(total=10)
+        clock.now = 5.0
+        reporter.update(10)
+        assert "ETA" not in stream.getvalue()
+
+    def test_long_eta_in_minutes(self):
+        reporter, clock, stream = _reporter(total=100)
+        clock.now = 60.0  # 10 done in 60s -> 90 left at 6s each = 9m
+        reporter.update(10)
+        assert "ETA 9.0m" in stream.getvalue()
+
+    def test_zero_total_does_not_divide(self):
+        reporter, _, stream = _reporter(total=0)
+        reporter.update(0)
+        assert "(100.0%)" in stream.getvalue()
+
+
+class TestOptIn:
+    def test_disabled_unless_env_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        assert not progress_enabled()
+        monkeypatch.setenv("REPRO_PROGRESS", "0")
+        assert not progress_enabled()
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        assert progress_enabled()
