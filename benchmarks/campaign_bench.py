@@ -3,27 +3,44 @@
 Builds the full experiment pipeline (scenario → snapshot → confidence
 table → campaign → aggregation → path dataset) under a fresh metrics
 registry and emits the observability layer's own accounting —
-per-phase wall-clock seconds, campaign probes/sec, probe and store
-counters — as a machine-readable summary (``BENCH_campaign.json`` by
-default). With ``--trace`` the run also appends the trace journal and
-writes the ``run.json`` manifest next to it, so CI can upload the full
-observability artifact set alongside the numbers.
+per-phase wall-clock seconds, campaign probes/sec, peak RSS, probe and
+store counters — as a machine-readable summary
+(``BENCH_campaign.json`` by default). With ``--trace`` the run also
+appends the trace journal and writes the ``run.json`` manifest next to
+it, so CI can upload the full observability artifact set alongside the
+numbers.
+
+Two regression-gate features:
+
+* ``--compare-engines N`` re-measures a sample of N /24s under both
+  the object-path campaign engine and the columnar fast engine (the
+  results are bit-identical; only wall-clock differs) and reports
+  both rates plus their ratio.
+* ``--baseline PATH`` compares this run's campaign probes/sec against
+  a committed snapshot and exits non-zero on a >20% regression.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/campaign_bench.py \
         [--out BENCH_campaign.json] [--profile tiny] [--workers 2] \
-        [--trace BENCH_campaign_trace.jsonl] [--store PATH]
+        [--trace BENCH_campaign_trace.jsonl] [--store PATH] \
+        [--compare-engines 400] [--baseline benchmarks/baselines/...json]
 """
 
 import argparse
 import json
 import os
+import resource
 import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.core import TerminationPolicy, run_campaign  # noqa: E402
+from repro.core.fastengine import (  # noqa: E402
+    CAMPAIGN_ENGINE_ENV,
+    campaign_engine_name,
+)
 from repro.experiments import PROFILES, Workspace  # noqa: E402
 from repro.netsim.routing import reference_engine_enabled  # noqa: E402
 from repro.obs import (  # noqa: E402
@@ -36,8 +53,69 @@ from repro.obs import (  # noqa: E402
     write_run_manifest,
 )
 
+#: Tolerated probes/sec drop against the committed baseline snapshot.
+REGRESSION_TOLERANCE = 0.20
 
-def run(profile_name, workers, trace_path, store_path):
+
+def _peak_rss_mb():
+    """Peak resident set size of this process so far, in MiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+def _compare_engines(workspace, sample_size):
+    """Time the same /24 sample under the object and columnar campaign
+    engines (identical results; pure wall-clock comparison)."""
+    internet = workspace.internet
+    snapshot = workspace.snapshot
+    eligible = snapshot.eligible_slash24s()
+    stride = max(1, len(eligible) // max(sample_size, 1))
+    sample = eligible[::stride][:sample_size]
+    policy = TerminationPolicy(confidence_table=workspace.confidence_table)
+    rates = {}
+    previous = os.environ.get(CAMPAIGN_ENGINE_ENV)
+    try:
+        for engine in ("object", "columnar"):
+            os.environ[CAMPAIGN_ENGINE_ENV] = engine
+            probes_before = internet.probe_count
+            started = time.perf_counter()
+            run_campaign(
+                internet,
+                policy,
+                slash24s=sample,
+                snapshot=snapshot,
+                seed=internet.config.seed ^ 0xBE7C,
+                max_destinations_per_slash24=(
+                    workspace.profile.campaign_max_destinations
+                ),
+            )
+            elapsed = time.perf_counter() - started
+            probes = internet.probe_count - probes_before
+            rates[engine] = {
+                "slash24s": len(sample),
+                "probes": probes,
+                "seconds": round(elapsed, 3),
+                "probes_per_second": (
+                    round(probes / elapsed, 1) if elapsed else None
+                ),
+            }
+    finally:
+        if previous is None:
+            os.environ.pop(CAMPAIGN_ENGINE_ENV, None)
+        else:
+            os.environ[CAMPAIGN_ENGINE_ENV] = previous
+    slow = rates["object"]["probes_per_second"] or 0.0
+    fast = rates["columnar"]["probes_per_second"] or 0.0
+    rates["columnar_speedup"] = round(fast / slow, 2) if slow else None
+    return rates
+
+
+def run(profile_name, workers, trace_path, store_path, compare_engines=0):
     configure_tracing(trace_path)
     workspace = Workspace(
         PROFILES[profile_name], workers=workers, store_path=store_path
@@ -46,6 +124,11 @@ def run(profile_name, workers, trace_path, store_path):
         started = time.perf_counter()
         workspace.ensure_built()
         elapsed = time.perf_counter() - started
+        comparison = (
+            _compare_engines(workspace, compare_engines)
+            if compare_engines
+            else None
+        )
 
     phases = phase_wall_clocks(registry)
     campaign_seconds = registry.timer_seconds("phase.campaign")
@@ -55,8 +138,11 @@ def run(profile_name, workers, trace_path, store_path):
         "profile": profile_name,
         "workers": workspace.workers,
         "engine": "reference" if reference_engine_enabled() else "compiled",
+        "campaign_engine": campaign_engine_name(),
+        "result_format": workspace.profile.campaign_result_format,
         "store": store_path,
         "total_seconds": round(elapsed, 3),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
         "phases": {name: round(seconds, 3) for name, seconds in phases.items()},
         "campaign_seconds": round(campaign_seconds, 3),
         "campaign_probes": probes,
@@ -72,6 +158,8 @@ def run(profile_name, workers, trace_path, store_path):
         "slash24s_measured": registry.counter_value("campaign.slash24s"),
         "internet_stats": workspace.internet.stats(),
     }
+    if comparison is not None:
+        document["engine_comparison"] = comparison
 
     if trace_path is not None:
         manifest = build_manifest(
@@ -91,6 +179,27 @@ def run(profile_name, workers, trace_path, store_path):
     return document
 
 
+def check_baseline(document, baseline_path):
+    """Compare against a committed snapshot; returns (ok, message)."""
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    reference = baseline.get("campaign_probes_per_second")
+    current = document.get("campaign_probes_per_second")
+    if not reference or not current:
+        return True, "baseline: no probes/sec to compare"
+    floor = reference * (1.0 - REGRESSION_TOLERANCE)
+    if current < floor:
+        return False, (
+            f"REGRESSION: campaign probes/sec {current:,.0f} is more than "
+            f"{REGRESSION_TOLERANCE:.0%} below the baseline "
+            f"{reference:,.0f} (floor {floor:,.0f})"
+        )
+    return True, (
+        f"baseline ok: {current:,.0f} probes/s vs baseline "
+        f"{reference:,.0f} (floor {floor:,.0f})"
+    )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_campaign.json")
@@ -100,9 +209,22 @@ def main(argv=None):
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--trace", default=None, metavar="PATH")
     parser.add_argument("--store", default=None, metavar="PATH")
+    parser.add_argument(
+        "--compare-engines", type=int, default=0, metavar="N",
+        help="also time N sampled /24s under the object vs columnar "
+        "campaign engines",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="committed BENCH_campaign.json snapshot; exit non-zero if "
+        f"probes/sec regressed more than {REGRESSION_TOLERANCE:.0%}",
+    )
     args = parser.parse_args(argv)
 
-    document = run(args.profile, args.workers, args.trace, args.store)
+    document = run(
+        args.profile, args.workers, args.trace, args.store,
+        compare_engines=args.compare_engines,
+    )
     rendered = json.dumps(document, indent=2, sort_keys=True)
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write(rendered + "\n")
@@ -113,8 +235,15 @@ def main(argv=None):
         f"{document['campaign_probes']} probes in "
         f"{document['campaign_seconds']}s"
         + (f" ({rate:,.0f} probes/s)" if rate else "")
+        + f" | peak RSS {document['peak_rss_mb']} MB"
     )
+    if args.baseline is not None:
+        ok, message = check_baseline(document, args.baseline)
+        print(message)
+        if not ok:
+            return 2
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -68,19 +68,32 @@ def mcl(
 
     converged = False
     iterations = 0
+    nnz_peak = matrix.nnz
     with span("mcl.run", vertices=n, inflation=inflation):
         for iterations in range(1, max_iterations + 1):
-            previous = matrix.copy()
+            # Expansion allocates the iteration's one new matrix; the
+            # previous iterate survives as-is for the convergence check
+            # (no defensive copy needed), and inflation, pruning and
+            # normalisation below all rewrite the new matrix's ``data``
+            # in place. An earlier version copied the CSC arrays at
+            # every step, which tripled the allocation traffic of the
+            # whole clustering phase.
+            previous = matrix
             matrix = matrix @ matrix  # expansion
-            matrix = _inflate(matrix, inflation)
-            matrix = _prune(matrix, prune_threshold)
-            matrix = _normalize_columns(matrix)
+            if matrix.nnz > nnz_peak:
+                nnz_peak = matrix.nnz
+            _inflate_inplace(matrix, inflation)
+            _prune_inplace(matrix, prune_threshold)
+            matrix = _normalize_columns_inplace(matrix)
             if _has_converged(matrix, previous, convergence_tol):
                 converged = True
                 break
     registry = current_metrics()
     registry.count("mcl.runs")
     registry.count("mcl.iterations", iterations)
+    # Densest intermediate of the run: the expansion step's fill-in is
+    # MCL's memory high-water mark, invisible from the (pruned) result.
+    registry.gauge("mcl.nnz_peak", nnz_peak)
     if not converged:
         # Hitting the iteration cap degrades clustering quality without
         # failing anything downstream — exactly the kind of silence the
@@ -98,6 +111,17 @@ def mcl(
 
 
 def _normalize_columns(matrix: sparse.csc_matrix) -> sparse.csc_matrix:
+    """Column-normalise a fresh matrix (setup path; copies freely)."""
+    return _normalize_columns_inplace(sparse.csc_matrix(matrix))
+
+
+def _normalize_columns_inplace(matrix: sparse.csc_matrix) -> sparse.csc_matrix:
+    """Column-normalise, rewriting ``matrix.data`` in place.
+
+    Equivalent to ``matrix @ diags(1.0 / sums)`` — each stored entry is
+    scaled by its own column's reciprocal sum, so the results are
+    bitwise identical — without materialising a second matrix.
+    """
     sums = np.asarray(matrix.sum(axis=0)).ravel()
     # Columns that pruned to zero get a self loop back.
     zero_columns = np.flatnonzero(sums == 0.0)
@@ -109,22 +133,22 @@ def _normalize_columns(matrix: sparse.csc_matrix) -> sparse.csc_matrix:
             ),
             shape=matrix.shape,
         )
-        matrix = matrix + repair
+        matrix = sparse.csc_matrix(matrix + repair)
         sums = np.asarray(matrix.sum(axis=0)).ravel()
-    inverse = sparse.diags(1.0 / sums)
-    return sparse.csc_matrix(matrix @ inverse)
-
-def _inflate(matrix: sparse.csc_matrix, inflation: float) -> sparse.csc_matrix:
-    inflated = matrix.copy()
-    inflated.data = np.power(inflated.data, inflation)
-    return inflated
+    scale = 1.0 / sums
+    # CSC data is laid out column by column; np.diff(indptr) is each
+    # column's stored-entry count.
+    matrix.data *= np.repeat(scale, np.diff(matrix.indptr))
+    return matrix
 
 
-def _prune(matrix: sparse.csc_matrix, threshold: float) -> sparse.csc_matrix:
-    pruned = matrix.copy()
-    pruned.data[pruned.data < threshold] = 0.0
-    pruned.eliminate_zeros()
-    return pruned
+def _inflate_inplace(matrix: sparse.csc_matrix, inflation: float) -> None:
+    np.power(matrix.data, inflation, out=matrix.data)
+
+
+def _prune_inplace(matrix: sparse.csc_matrix, threshold: float) -> None:
+    matrix.data[matrix.data < threshold] = 0.0
+    matrix.eliminate_zeros()
 
 
 def _has_converged(

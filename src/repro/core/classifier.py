@@ -170,3 +170,43 @@ def classify_observations(observations: Observations) -> Category:
     if len(observations) < 4:
         return Category.TOO_FEW_ACTIVE
     return _closing_category(observations)
+
+
+def closing_category_from_state(state) -> Category:
+    """:func:`_closing_category` evaluated on an incremental
+    :class:`repro.core.termination.TerminationState` instead of the full
+    observation map (same decision procedure, same order)."""
+    if state.cardinality <= 1:
+        return Category.SAME_LASTHOP
+    if state.identical_lasthop_sets():
+        return Category.NON_HIERARCHICAL
+    if not state.ranges_hierarchical():
+        return Category.NON_HIERARCHICAL
+    return Category.HIERARCHICAL
+
+
+# -- columnar category codes ------------------------------------------------
+#
+# The columnar campaign result stores categories and stop reasons as
+# small integer codes so whole-campaign summaries (Table 1 counts,
+# homogeneous masks) reduce to numpy bincounts over flat arrays instead
+# of per-measurement attribute walks. Codes are positional in enum
+# declaration order, which is stable (the enums are part of the store
+# codec's on-disk contract and never reorder).
+
+CATEGORY_ORDER = tuple(Category)
+CATEGORY_CODES = {category: code for code, category in enumerate(CATEGORY_ORDER)}
+
+STOP_REASON_ORDER = tuple(StopReason)
+STOP_REASON_CODES = {
+    reason: code for code, reason in enumerate(STOP_REASON_ORDER)
+}
+#: Stop-reason code for "the policy never fired" (ran out of
+#: destinations); categories have no such gap, every /24 gets one.
+NO_STOP_CODE = -1
+
+#: True where the coded category counts toward the analyzable rows of
+#: Table 1, indexed by category code.
+ANALYZABLE_BY_CODE = tuple(c.analyzable for c in CATEGORY_ORDER)
+#: True where the coded category is homogeneous, indexed by code.
+HOMOGENEOUS_BY_CODE = tuple(c.homogeneous for c in CATEGORY_ORDER)

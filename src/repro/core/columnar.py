@@ -1,0 +1,429 @@
+"""Columnar campaign results: flat numpy arrays instead of objects.
+
+A paper-scale campaign covers millions of /24s; holding one
+:class:`~repro.core.classifier.Slash24Measurement` (a dataclass, a dict,
+and a frozenset per destination) per /24 costs hundreds of bytes of
+Python object headers each and makes whole-campaign summaries
+(Table 1 counts, homogeneous masks) walk millions of attribute lookups.
+:class:`ColumnarCampaignResult` stores the same information as ten flat
+arrays:
+
+====================  ======  ===============================================
+column                dtype   meaning (one row per measured /24)
+====================  ======  ===============================================
+``nets``              uint32  /24 network address
+``cats``              uint8   category code (``classifier.CATEGORY_ORDER``)
+``stops``             int8    stop-reason code, ``NO_STOP_CODE`` if none
+``dests``             int32   destinations probed
+``hosts``             int32   responsive hosts
+``probes``            int64   probes used
+``obs_lo``/``obs_hi`` int64   this /24's row range in the destination pool
+====================  ======  ===============================================
+
+plus a two-level ragged pool shared by every row: ``dst_pool`` (uint32
+destination addresses, one row per observed destination) with
+``lh_lo``/``lh_hi`` indices into ``lh_pool`` (uint32 last-hop router
+addresses, stored sorted). Category/stop enums round-trip through the
+positional code tables in :mod:`repro.core.classifier`; whole-campaign
+classification summaries reduce to ``np.bincount`` over the code column
+with the ``ANALYZABLE_BY_CODE``/``HOMOGENEOUS_BY_CODE`` masks.
+
+The API mirrors :class:`repro.core.pipeline.CampaignResult` (``add``,
+``merge``, ``subset``, iteration, Table 1 helpers) and materializes
+:class:`Slash24Measurement` objects lazily, one at a time, only where a
+caller asks for them. ``subset`` is a **view**: the selected rows'
+fixed-width columns are fancy-indexed (O(selection)) while the ragged
+pools are shared with the parent by reference, so carving a handful of
+/24s out of a million-row result does not copy the campaign.
+
+The object representation remains the default everywhere
+(``run_campaign(..., result_format="columnar")`` or
+``REPRO_RESULT_FORMAT=columnar`` opt in); conversions in both
+directions are exact, which the round-trip test suite asserts
+byte-for-byte through the store codec.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Mapping
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from ..net.prefix import Prefix
+from .classifier import (
+    ANALYZABLE_BY_CODE,
+    CATEGORY_CODES,
+    CATEGORY_ORDER,
+    HOMOGENEOUS_BY_CODE,
+    NO_STOP_CODE,
+    STOP_REASON_CODES,
+    STOP_REASON_ORDER,
+    Category,
+    Slash24Measurement,
+)
+
+#: Environment variable selecting :func:`repro.core.pipeline.run_campaign`'s
+#: default result representation: ``object`` (default) or ``columnar``.
+RESULT_FORMAT_ENV = "REPRO_RESULT_FORMAT"
+
+_ANALYZABLE_MASK = np.array(ANALYZABLE_BY_CODE, dtype=bool)
+_HOMOGENEOUS_MASK = np.array(HOMOGENEOUS_BY_CODE, dtype=bool)
+
+
+def result_format_name(override: Optional[str] = None) -> str:
+    """Resolve a ``result_format`` argument against the environment."""
+    value = override or os.environ.get(RESULT_FORMAT_ENV, "") or "object"
+    value = value.strip().lower()
+    if value not in ("object", "columnar"):
+        raise ValueError(
+            f"unknown result format {value!r} (expected 'object' or "
+            "'columnar')"
+        )
+    return value
+
+
+class ColumnarCampaignResult:
+    """Campaign outcome stored as flat arrays (see module docstring)."""
+
+    def __init__(self) -> None:
+        self.probes_used = 0
+        #: network address → row; insertion order is row order.
+        self._index: Dict[int, int] = {}
+        self._arrays: Optional[dict] = None
+        # Staged (not yet finalized) rows, as plain Python lists.
+        self._s_nets: List[int] = []
+        self._s_cats: List[int] = []
+        self._s_stops: List[int] = []
+        self._s_dests: List[int] = []
+        self._s_hosts: List[int] = []
+        self._s_probes: List[int] = []
+        self._s_obs_lo: List[int] = []
+        self._s_obs_hi: List[int] = []
+        self._s_dst_pool: List[int] = []
+        self._s_lh_lo: List[int] = []
+        self._s_lh_hi: List[int] = []
+        self._s_lh_pool: List[int] = []
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, measurement: Slash24Measurement) -> None:
+        """Fold one /24's measurement into the columns and drop the
+        object. Raises ValueError on a duplicate prefix (same contract
+        as :meth:`CampaignResult.add`)."""
+        slash24 = measurement.slash24
+        if slash24.length != 24:
+            raise ValueError(
+                f"columnar results hold /24 measurements, got {slash24}"
+            )
+        network = slash24.network
+        if network in self._index:
+            raise ValueError(
+                f"duplicate measurement for {slash24}: "
+                "each /24 is measured exactly once per campaign"
+            )
+        self._index[network] = self.total
+        base = self._pool_base()
+        self._s_nets.append(network)
+        self._s_cats.append(CATEGORY_CODES[measurement.category])
+        self._s_stops.append(
+            NO_STOP_CODE
+            if measurement.stop_reason is None
+            else STOP_REASON_CODES[measurement.stop_reason]
+        )
+        self._s_dests.append(measurement.destinations_probed)
+        self._s_hosts.append(measurement.hosts_responsive)
+        self._s_probes.append(measurement.probes_used)
+        self._s_obs_lo.append(base + len(self._s_dst_pool))
+        lh_base = self._lh_base()
+        for dst, lasthops in measurement.observations.items():
+            self._s_dst_pool.append(dst)
+            self._s_lh_lo.append(lh_base + len(self._s_lh_pool))
+            self._s_lh_pool.extend(sorted(lasthops))
+            self._s_lh_hi.append(lh_base + len(self._s_lh_pool))
+        self._s_obs_hi.append(base + len(self._s_dst_pool))
+        self.probes_used += measurement.probes_used
+
+    def merge(self, other: "ColumnarCampaignResult") -> "ColumnarCampaignResult":
+        """Fold another (disjoint) columnar result in. Returns self."""
+        overlap = self._index.keys() & other._index.keys()
+        if overlap:
+            sample = ", ".join(
+                str(Prefix(n, 24)) for n in sorted(overlap)[:3]
+            )
+            raise ValueError(
+                f"cannot merge campaign results with {len(overlap)} "
+                f"overlapping /24s (e.g. {sample})"
+            )
+        for measurement in other:
+            self.add(measurement)
+        return self
+
+    @classmethod
+    def from_campaign_result(cls, result) -> "ColumnarCampaignResult":
+        """Convert an object-form result (exact; order-preserving)."""
+        columnar = cls()
+        for measurement in result:
+            columnar.add(measurement)
+        return columnar
+
+    def to_object(self):
+        """Materialize back into an object-form
+        :class:`repro.core.pipeline.CampaignResult` (exact)."""
+        from .pipeline import CampaignResult
+
+        result = CampaignResult()
+        for measurement in self:
+            result.add(measurement)
+        return result
+
+    # -- storage ----------------------------------------------------------
+
+    def _pool_base(self) -> int:
+        arrays = self._arrays
+        return len(arrays["dst_pool"]) if arrays is not None else 0
+
+    def _lh_base(self) -> int:
+        arrays = self._arrays
+        return len(arrays["lh_pool"]) if arrays is not None else 0
+
+    def _finalize(self) -> dict:
+        """Convert staged rows into the array form (amortized; staged
+        lists are cleared). Returns the array dict."""
+        arrays = self._arrays
+        if not self._s_nets and arrays is not None:
+            return arrays
+        staged = {
+            "nets": np.array(self._s_nets, dtype=np.uint32),
+            "cats": np.array(self._s_cats, dtype=np.uint8),
+            "stops": np.array(self._s_stops, dtype=np.int8),
+            "dests": np.array(self._s_dests, dtype=np.int32),
+            "hosts": np.array(self._s_hosts, dtype=np.int32),
+            "probes": np.array(self._s_probes, dtype=np.int64),
+            "obs_lo": np.array(self._s_obs_lo, dtype=np.int64),
+            "obs_hi": np.array(self._s_obs_hi, dtype=np.int64),
+            "dst_pool": np.array(self._s_dst_pool, dtype=np.uint32),
+            "lh_lo": np.array(self._s_lh_lo, dtype=np.int64),
+            "lh_hi": np.array(self._s_lh_hi, dtype=np.int64),
+            "lh_pool": np.array(self._s_lh_pool, dtype=np.uint32),
+        }
+        if arrays is None:
+            self._arrays = staged
+        else:
+            # Staged offsets were recorded relative to the arrays they
+            # now extend, so plain concatenation keeps them valid.
+            self._arrays = {
+                key: np.concatenate((arrays[key], staged[key]))
+                for key in staged
+            }
+        for name in (
+            "_s_nets", "_s_cats", "_s_stops", "_s_dests", "_s_hosts",
+            "_s_probes", "_s_obs_lo", "_s_obs_hi", "_s_dst_pool",
+            "_s_lh_lo", "_s_lh_hi", "_s_lh_pool",
+        ):
+            getattr(self, name).clear()
+        return self._arrays
+
+    def columns(self) -> dict:
+        """The finalized column arrays (shared, do not mutate)."""
+        return self._finalize()
+
+    # -- materialization --------------------------------------------------
+
+    def _materialize(self, arrays: dict, row: int) -> Slash24Measurement:
+        observations: Dict[int, FrozenSet[int]] = {}
+        lh_lo = arrays["lh_lo"]
+        lh_hi = arrays["lh_hi"]
+        lh_pool = arrays["lh_pool"]
+        dst_pool = arrays["dst_pool"]
+        for position in range(
+            int(arrays["obs_lo"][row]), int(arrays["obs_hi"][row])
+        ):
+            lasthops = frozenset(
+                int(a)
+                for a in lh_pool[
+                    int(lh_lo[position]): int(lh_hi[position])
+                ]
+            )
+            observations[int(dst_pool[position])] = lasthops
+        stop_code = int(arrays["stops"][row])
+        return Slash24Measurement(
+            slash24=Prefix(int(arrays["nets"][row]), 24),
+            category=CATEGORY_ORDER[int(arrays["cats"][row])],
+            observations=observations,
+            destinations_probed=int(arrays["dests"][row]),
+            hosts_responsive=int(arrays["hosts"][row]),
+            probes_used=int(arrays["probes"][row]),
+            stop_reason=(
+                None if stop_code == NO_STOP_CODE
+                else STOP_REASON_ORDER[stop_code]
+            ),
+        )
+
+    # -- Table 1 ----------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return len(self._index)
+
+    def category_counts(self) -> Dict[Category, int]:
+        arrays = self._finalize()
+        counts = np.bincount(
+            arrays["cats"], minlength=len(CATEGORY_ORDER)
+        )
+        return {
+            category: int(counts[code])
+            for code, category in enumerate(CATEGORY_ORDER)
+        }
+
+    def analyzable_mask(self) -> np.ndarray:
+        """Boolean row mask of analyzable categories (vectorised)."""
+        return _ANALYZABLE_MASK[self._finalize()["cats"]]
+
+    def homogeneous_mask(self) -> np.ndarray:
+        """Boolean row mask of homogeneous categories (vectorised)."""
+        return _HOMOGENEOUS_MASK[self._finalize()["cats"]]
+
+    def analyzable(self) -> List[Slash24Measurement]:
+        arrays = self._finalize()
+        return [
+            self._materialize(arrays, row)
+            for row in np.flatnonzero(self.analyzable_mask())
+        ]
+
+    def homogeneous(self) -> List[Slash24Measurement]:
+        arrays = self._finalize()
+        return [
+            self._materialize(arrays, row)
+            for row in np.flatnonzero(self.homogeneous_mask())
+        ]
+
+    def by_category(self, category: Category) -> List[Slash24Measurement]:
+        arrays = self._finalize()
+        code = CATEGORY_CODES[category]
+        return [
+            self._materialize(arrays, row)
+            for row in np.flatnonzero(arrays["cats"] == code)
+        ]
+
+    def homogeneous_fraction_of_analyzable(self) -> float:
+        analyzable = self.analyzable_mask()
+        total = int(analyzable.sum())
+        if not total:
+            return 0.0
+        return int(self.homogeneous_mask().sum()) / total
+
+    def lasthop_sets(self) -> Dict[Prefix, FrozenSet[int]]:
+        """Homogeneous /24 → union of its last-hop sets, straight off
+        the pools (no per-/24 object materialization)."""
+        arrays = self._finalize()
+        lh_lo, lh_hi = arrays["lh_lo"], arrays["lh_hi"]
+        lh_pool = arrays["lh_pool"]
+        out: Dict[Prefix, FrozenSet[int]] = {}
+        for row in np.flatnonzero(self.homogeneous_mask()):
+            lo, hi = int(arrays["obs_lo"][row]), int(arrays["obs_hi"][row])
+            union: set = set()
+            for position in range(lo, hi):
+                union.update(
+                    int(a)
+                    for a in lh_pool[
+                        int(lh_lo[position]): int(lh_hi[position])
+                    ]
+                )
+            if union:
+                out[Prefix(int(arrays["nets"][row]), 24)] = frozenset(union)
+        return out
+
+    # -- lookup & slicing -------------------------------------------------
+
+    @property
+    def measurements(self) -> "Mapping[Prefix, Slash24Measurement]":
+        """Lazy mapping view mirroring
+        :attr:`CampaignResult.measurements`: keys iterate in campaign
+        input order, values materialize one at a time on access."""
+        return _MeasurementsView(self)
+
+    def __contains__(self, slash24: Prefix) -> bool:
+        return slash24.length == 24 and slash24.network in self._index
+
+    def __iter__(self) -> Iterator[Slash24Measurement]:
+        """Lazily materialize measurements in campaign input order."""
+        arrays = self._finalize()
+        for row in range(self.total):
+            yield self._materialize(arrays, row)
+
+    def get(self, slash24: Prefix) -> Optional[Slash24Measurement]:
+        row = self._index.get(slash24.network)
+        if row is None or slash24.length != 24:
+            return None
+        return self._materialize(self._finalize(), row)
+
+    def prefixes(self) -> List[Prefix]:
+        return [Prefix(network, 24) for network in self._index]
+
+    def subset(self, slash24s: Iterable[Prefix]) -> "ColumnarCampaignResult":
+        """A view of just the given /24s (KeyError if one was never
+        measured). Fixed-width columns are fancy-indexed —
+        O(selection) — and the ragged destination/last-hop pools are
+        shared with the parent by reference, so the cost is independent
+        of the campaign size."""
+        arrays = self._finalize()
+        rows = []
+        index: Dict[int, int] = {}
+        for slash24 in slash24s:
+            row = self._index.get(slash24.network)
+            if row is None or slash24.length != 24:
+                raise KeyError(
+                    f"{slash24} was not measured in this campaign"
+                )
+            if slash24.network in index:
+                raise ValueError(
+                    f"duplicate measurement for {slash24}: "
+                    "each /24 is measured exactly once per campaign"
+                )
+            index[slash24.network] = len(rows)
+            rows.append(row)
+        selector = np.array(rows, dtype=np.int64)
+        view = ColumnarCampaignResult()
+        view._index = index
+        view._arrays = {
+            "nets": arrays["nets"][selector],
+            "cats": arrays["cats"][selector],
+            "stops": arrays["stops"][selector],
+            "dests": arrays["dests"][selector],
+            "hosts": arrays["hosts"][selector],
+            "probes": arrays["probes"][selector],
+            "obs_lo": arrays["obs_lo"][selector],
+            "obs_hi": arrays["obs_hi"][selector],
+            # Shared by reference: row ranges index into the parent's
+            # pools unchanged.
+            "dst_pool": arrays["dst_pool"],
+            "lh_lo": arrays["lh_lo"],
+            "lh_hi": arrays["lh_hi"],
+            "lh_pool": arrays["lh_pool"],
+        }
+        view.probes_used = int(view._arrays["probes"].sum())
+        return view
+
+
+class _MeasurementsView(Mapping):
+    """Read-only dict-shaped facade over a columnar result."""
+
+    __slots__ = ("_result",)
+
+    def __init__(self, result: ColumnarCampaignResult) -> None:
+        self._result = result
+
+    def __len__(self) -> int:
+        return self._result.total
+
+    def __iter__(self) -> Iterator[Prefix]:
+        for network in self._result._index:
+            yield Prefix(network, 24)
+
+    def __getitem__(self, slash24: Prefix) -> Slash24Measurement:
+        measurement = self._result.get(slash24)
+        if measurement is None:
+            raise KeyError(slash24)
+        return measurement

@@ -21,6 +21,8 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from .grouping import (
     Observations,
     group_by_lasthop,
@@ -52,6 +54,11 @@ class ConfidenceTable:
         self._cells: Dict[Tuple[int, int], ConfidenceCell] = {}
         #: Cells with fewer trials than this answer "unknown".
         self.min_trials = min_trials
+        #: Bumped on every mutation; invalidates the per-level
+        #: required-probes caches below.
+        self._version = 0
+        self._required_cache: Dict[float, Dict[int, Optional[int]]] = {}
+        self._required_cache_version = -1
 
     # -- construction ---------------------------------------------------
 
@@ -62,6 +69,7 @@ class ConfidenceTable:
         cell.trials += 1
         if success:
             cell.successes += 1
+        self._version += 1
 
     @classmethod
     def build(
@@ -111,14 +119,50 @@ class ConfidenceTable:
     ) -> Optional[int]:
         """Smallest number of probed addresses reaching ``level`` for
         this cardinality; None if no populated cell reaches it."""
-        candidates = [
-            probed
-            for (card, probed), cell in self._cells.items()
-            if card == cardinality
-            and cell.trials >= self.min_trials
-            and cell.confidence >= level
-        ]
-        return min(candidates) if candidates else None
+        return self.required_probes_map(level).get(cardinality)
+
+    def required_probes_map(
+        self, level: float = DEFAULT_LEVEL
+    ) -> Dict[int, Optional[int]]:
+        """Cardinality → smallest probed count reaching ``level``.
+
+        The termination policy consults :meth:`required_probes` after
+        *every* probed destination of *every* /24; scanning the raw cell
+        dict each time is O(cells). This map collapses the table once
+        per (content, level) — the cache is invalidated whenever
+        :meth:`record` mutates the table — so the per-destination lookup
+        is a dict get. Cardinalities absent from the map have no
+        populated cell reaching the level (the ``None`` answer).
+        """
+        if self._required_cache_version != self._version:
+            self._required_cache.clear()
+            self._required_cache_version = self._version
+        cached = self._required_cache.get(level)
+        if cached is None:
+            cached = {}
+            for (card, probed), cell in self._cells.items():
+                if cell.trials < self.min_trials or cell.confidence < level:
+                    continue
+                best = cached.get(card)
+                if best is None or probed < best:
+                    cached[card] = probed
+            self._required_cache[level] = cached
+        return cached
+
+    def required_probes_vector(
+        self, level: float = DEFAULT_LEVEL
+    ) -> "np.ndarray":
+        """Dense ``required[cardinality]`` vector for batched
+        termination checks: entry ``c`` is the smallest probed count
+        reaching ``level`` for cardinality ``c``, or a sentinel larger
+        than any probe budget (2**31 - 1) where the table has no
+        answer. Index 0 is always the sentinel (no observations)."""
+        mapping = self.required_probes_map(level)
+        size = (max(mapping) + 1) if mapping else 1
+        vector = np.full(size, 2**31 - 1, dtype=np.int64)
+        for card, probed in mapping.items():
+            vector[card] = probed
+        return vector
 
     def cells(self) -> Dict[Tuple[int, int], ConfidenceCell]:
         return dict(self._cells)

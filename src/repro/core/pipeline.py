@@ -39,7 +39,9 @@ from ..probing.session import ProbeBudgetExceeded, Prober, ProbeStats
 from ..probing.zmap import ActivitySnapshot, scan
 from ..util.hashing import mix, stable_string_hash
 from .classifier import Category, Slash24Measurement, measure_slash24
+from .columnar import ColumnarCampaignResult, result_format_name
 from .confidence import ConfidenceTable
+from .fastengine import FastPathUnsupported, fast_engine_for
 from .termination import ReprobePolicy, TerminationPolicy
 
 
@@ -195,6 +197,20 @@ def _measure_in_context(
         clock_seconds=clock_base,
         nonce=slash24_nonce(campaign_seed, slash24),
     )
+    engine = fast_engine_for(internet, policy, max_probes)
+    if engine is not None:
+        rng = random.Random(slash24_seed(campaign_seed, slash24))
+        try:
+            return engine.measure(
+                policy, slash24, snapshot_active, rng, max_destinations
+            )
+        except FastPathUnsupported:
+            # The engine touched no simulator state; re-pin the context
+            # and let the object path measure this /24 from scratch.
+            internet.begin_measurement_context(
+                clock_seconds=clock_base,
+                nonce=slash24_nonce(campaign_seed, slash24),
+            )
     prober = Prober(internet, max_probes=max_probes)
     rng = random.Random(slash24_seed(campaign_seed, slash24))
     measurement = measure_slash24(
@@ -435,11 +451,20 @@ def run_campaign(
     workers: int = 1,
     store=None,
     metrics: Optional[MetricsRegistry] = None,
+    result_format: Optional[str] = None,
 ) -> CampaignResult:
     """Measure every selected /24 and classify it.
 
     When ``slash24s`` is None, all snapshot-eligible /24s are measured
     (the paper's 3.37M, at our scenario's scale).
+
+    ``result_format`` selects the result representation: ``"object"``
+    (default — a :class:`CampaignResult` of per-/24 dataclasses) or
+    ``"columnar"`` (a flat-array
+    :class:`repro.core.columnar.ColumnarCampaignResult`, streamed row by
+    row so million-/24 campaigns never hold per-/24 objects). Unset, it
+    falls back to ``$REPRO_RESULT_FORMAT``. The two hold identical
+    information — conversions are exact both ways.
 
     ``workers`` > 1 shards the /24 list across a process pool; the
     merged result (measurements, their insertion order, and probe
@@ -474,10 +499,11 @@ def run_campaign(
     if slash24s is None:
         slash24s = snapshot.eligible_slash24s()
     slash24s = list(slash24s)
+    fmt = result_format_name(result_format)
     with span("campaign.run", slash24s=len(slash24s), workers=workers):
         result = _run_campaign_observed(
             internet, policy, slash24s, snapshot, seed, max_probes,
-            max_destinations_per_slash24, workers, store, registry,
+            max_destinations_per_slash24, workers, store, registry, fmt,
         )
     return result
 
@@ -493,6 +519,7 @@ def _run_campaign_observed(
     workers: int,
     store,
     registry: MetricsRegistry,
+    result_format: str = "object",
 ) -> CampaignResult:
     clock_base = internet.clock_seconds
     engine_base = (
@@ -522,7 +549,11 @@ def _run_campaign_observed(
     progress = (
         ProgressReporter(len(slash24s)) if progress_enabled() else None
     )
-    result = CampaignResult()
+    result = (
+        ColumnarCampaignResult()
+        if result_format == "columnar"
+        else CampaignResult()
+    )
     stats = ProbeStats()
 
     parallel = None

@@ -16,9 +16,9 @@ budget, to maximise the chance of discovering *all* last-hop routers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from ..probing.stopping import probes_required
 from .confidence import DEFAULT_LEVEL, ConfidenceTable
@@ -36,6 +36,69 @@ class StopReason(Enum):
     SINGLE_LASTHOP = "single-lasthop"
     CONFIDENCE_REACHED = "confidence-reached"
     ENUMERATION_COMPLETE = "enumeration-complete"
+
+
+@dataclass
+class TerminationState:
+    """Incrementally maintained sufficient statistics for the stopping
+    rules.
+
+    ``should_stop`` only ever consults four aggregates of the
+    observations — the probed-destination count, the distinct last-hop
+    set, each last-hop group's numeric (min, max) range and the set of
+    distinct per-destination last-hop sets. All four fold in O(|last-hop
+    set|) per destination, so the campaign engine can evaluate the
+    policy after every destination without re-deriving the groups from
+    the full observation map each time. Equivalence with the
+    from-scratch evaluation is asserted by the termination test suite.
+    """
+
+    probed: int = 0
+    #: last-hop router address → [min member, max member].
+    group_bounds: Dict[int, List[int]] = field(default_factory=dict)
+    #: Distinct per-destination last-hop sets observed so far.
+    distinct_sets: Set[FrozenSet[int]] = field(default_factory=set)
+
+    def observe(self, dst: int, lasthops: FrozenSet[int]) -> None:
+        """Fold one destination's (non-empty) last-hop set in."""
+        self.probed += 1
+        self.distinct_sets.add(lasthops)
+        bounds_by_lasthop = self.group_bounds
+        for lasthop in lasthops:
+            bounds = bounds_by_lasthop.get(lasthop)
+            if bounds is None:
+                bounds_by_lasthop[lasthop] = [dst, dst]
+            elif dst < bounds[0]:
+                bounds[0] = dst
+            elif dst > bounds[1]:
+                bounds[1] = dst
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.group_bounds)
+
+    def identical_lasthop_sets(self) -> bool:
+        return len(self.distinct_sets) <= 1
+
+    def ranges_hierarchical(self) -> bool:
+        """The hierarchy test over the incrementally tracked group
+        ranges — same sweep as
+        :func:`repro.core.hierarchy.find_non_hierarchical_pair`, on
+        (first, last) pairs instead of :class:`AddressRange`."""
+        ordered = sorted(
+            ((bounds[0], bounds[1]) for bounds in self.group_bounds.values()),
+            key=lambda r: (r[0], -r[1]),
+        )
+        stack: List[tuple] = []
+        for current in ordered:
+            while stack and stack[-1][1] < current[0]:
+                stack.pop()
+            if stack:
+                enclosing = stack[-1]
+                if enclosing[1] < current[1] or enclosing == current:
+                    return False
+            stack.append(current)
+        return True
 
 
 @dataclass
@@ -97,6 +160,51 @@ class TerminationPolicy:
             cardinality, self.confidence_level
         )
 
+    def should_stop_state(
+        self, state: TerminationState
+    ) -> Optional[StopReason]:
+        """:meth:`should_stop` evaluated on incremental statistics.
+
+        Rule order matches :meth:`should_stop` exactly; the two must
+        agree on every observation sequence (asserted by tests).
+        """
+        probed = state.probed
+        if probed == 0:
+            return None
+        cardinality = state.cardinality
+        if self.stop_on_non_hierarchical and cardinality > 1:
+            if not state.ranges_hierarchical():
+                return StopReason.NON_HIERARCHICAL
+        if (
+            self.single_lasthop_rule
+            and cardinality == 1
+            and probed >= self.single_lasthop_probes
+        ):
+            return StopReason.SINGLE_LASTHOP
+        if (
+            self.stop_on_non_hierarchical
+            and cardinality > 1
+            and probed >= self.single_lasthop_probes
+            and state.identical_lasthop_sets()
+        ):
+            return StopReason.NON_HIERARCHICAL
+        if self.confidence_table is not None:
+            required = self.confidence_table.required_probes_map(
+                self.confidence_level
+            ).get(cardinality)
+            if required is not None and probed >= required:
+                return StopReason.CONFIDENCE_REACHED
+        return None
+
+    def required_probes_state(
+        self, state: TerminationState
+    ) -> Optional[int]:
+        if self.confidence_table is None:
+            return None
+        return self.confidence_table.required_probes_map(
+            self.confidence_level
+        ).get(state.cardinality)
+
 
 @dataclass
 class ExhaustivePolicy:
@@ -108,6 +216,11 @@ class ExhaustivePolicy:
     """
 
     def should_stop(self, observations: Observations) -> Optional[StopReason]:
+        return None
+
+    def should_stop_state(
+        self, state: TerminationState
+    ) -> Optional[StopReason]:
         return None
 
 
@@ -123,5 +236,18 @@ class ReprobePolicy:
             return None
         cardinality = len(union_lasthops(observations))
         if probed >= probes_required(max(cardinality, 1), self.confidence_level):
+            return StopReason.ENUMERATION_COMPLETE
+        return None
+
+    def should_stop_state(
+        self, state: TerminationState
+    ) -> Optional[StopReason]:
+        probed = state.probed
+        if probed == 0:
+            return None
+        required = probes_required(
+            max(state.cardinality, 1), self.confidence_level
+        )
+        if probed >= required:
             return StopReason.ENUMERATION_COMPLETE
         return None

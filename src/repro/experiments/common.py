@@ -71,6 +71,10 @@ class Profile:
     cellular_slash24_sample: int = 12
     cellular_max_addresses: int = 6
     sampling_repetitions: int = 25
+    #: Campaign result representation: "object" (list of dataclasses)
+    #: or "columnar" (flat numpy arrays; required at paper scale, where
+    #: per-/24 instances alone would dominate memory).
+    campaign_result_format: str = "object"
 
 
 PROFILES: Dict[str, Profile] = {
@@ -98,13 +102,28 @@ PROFILES: Dict[str, Profile] = {
         confidence_sample_slash24s=48,
         path_dataset_slash24s=64,
     ),
+    # Reduced-scale image of the paper profile (~60k /24s): same code
+    # path — columnar campaign over a lazily-built universe — at a size
+    # CI can afford. The campaign benchmark gates regressions here.
+    "paper-smoke": Profile(
+        name="paper-smoke",
+        scenario_scale=2.2,
+        confidence_sample_slash24s=48,
+        path_dataset_slash24s=48,
+        campaign_result_format="columnar",
+    ),
+    # The paper's measured Internet: ≥1M allocated /24s (scale 37 ≈
+    # 1.0M). The full 3.37M of the paper is scale ≈ 124 — the builder
+    # and columnar campaign both scale linearly, so it is only a matter
+    # of wall-clock (and ~2KB of RSS per /24) beyond this point.
     "paper": Profile(
         name="paper",
-        scenario_scale=0.35,
+        scenario_scale=37.0,
         confidence_sample_slash24s=64,
         confidence_samples_per_block=64,
         path_dataset_slash24s=96,
         cellular_slash24_sample=24,
+        campaign_result_format="columnar",
     ),
 }
 
@@ -368,6 +387,7 @@ class Workspace:
                 ),
                 workers=self.workers,
                 store=self.store,
+                result_format=self.profile.campaign_result_format,
             )
         return self._campaign
 

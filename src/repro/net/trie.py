@@ -162,36 +162,7 @@ class PrefixTrie(Generic[V]):
         covers). This is what lets a FIB trade the per-address trie walk
         for one ``bisect``/``searchsorted`` over a frozen table.
         """
-        points: List[Tuple[int, Optional[V]]] = [(0, None)]
-        # Pending (end_exclusive, value-to-restore) for every prefix
-        # whose interval is still open, innermost last. items() yields
-        # ancestors before descendants in address order, so a child
-        # carves a hole out of the breakpoint its parent just emitted
-        # and the parent's value resumes at the child's end.
-        stack: List[Tuple[int, Optional[V]]] = []
-
-        def emit(position: int, value: Optional[V]) -> None:
-            if points[-1][0] == position:
-                if len(points) > 1 and points[-2][1] is value:
-                    points.pop()
-                else:
-                    points[-1] = (position, value)
-            elif points[-1][1] is not value:
-                points.append((position, value))
-
-        for prefix, value in self.items():
-            first = prefix.network
-            while stack and stack[-1][0] <= first:
-                end, restore = stack.pop()
-                emit(end, restore)
-            stack.append(
-                (first + (1 << (ADDRESS_BITS - prefix.length)), points[-1][1])
-            )
-            emit(first, value)
-        while stack:
-            end, restore = stack.pop()
-            emit(end, restore)
-        return points
+        return leaf_intervals_from_items(self.items())
 
     def _walk(
         self, node: _Node[V], network: int, depth: int
@@ -209,3 +180,47 @@ def _bits(prefix: Prefix) -> Iterator[int]:
     """Most-significant-first bits of a prefix's network portion."""
     for depth in range(prefix.length):
         yield (prefix.network >> (ADDRESS_BITS - 1 - depth)) & 1
+
+
+def leaf_intervals_from_items(
+    items: "Iterator[Tuple[Prefix, V]] | List[Tuple[Prefix, V]]",
+) -> List[Tuple[int, Optional[V]]]:
+    """:meth:`PrefixTrie.leaf_intervals` over any (prefix, value) stream
+    already in trie order — address order, ancestors before descendants,
+    i.e. sorted by ``(network, length)``.
+
+    Flat tables (:class:`repro.netsim.routing.Fib`,
+    :class:`repro.netsim.allocation.AllocationMap`) feed their sorted
+    entry lists straight through this sweep, skipping the per-bit trie
+    nodes entirely — at paper scale those nodes dominated build time and
+    memory.
+    """
+    points: List[Tuple[int, Optional[V]]] = [(0, None)]
+    # Pending (end_exclusive, value-to-restore) for every prefix whose
+    # interval is still open, innermost last: a child carves a hole out
+    # of the breakpoint its parent just emitted and the parent's value
+    # resumes at the child's end.
+    stack: List[Tuple[int, Optional[V]]] = []
+
+    def emit(position: int, value: Optional[V]) -> None:
+        if points[-1][0] == position:
+            if len(points) > 1 and points[-2][1] is value:
+                points.pop()
+            else:
+                points[-1] = (position, value)
+        elif points[-1][1] is not value:
+            points.append((position, value))
+
+    for prefix, value in items:
+        first = prefix.network
+        while stack and stack[-1][0] <= first:
+            end, restore = stack.pop()
+            emit(end, restore)
+        stack.append(
+            (first + (1 << (ADDRESS_BITS - prefix.length)), points[-1][1])
+        )
+        emit(first, value)
+    while stack:
+        end, restore = stack.pop()
+        emit(end, restore)
+    return points

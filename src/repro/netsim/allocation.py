@@ -15,11 +15,12 @@ the paper's WHOIS digging (Table 4) found Korean ISPs doing.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..net.prefix import Prefix
-from ..net.trie import PrefixTrie
+from ..net.trie import leaf_intervals_from_items
 from .orgs import Organization
 
 #: Sub-block compositions of split /24s with the Table 2 distribution.
@@ -134,33 +135,65 @@ class Allocation:
 
 
 class AllocationMap:
-    """Fast address → allocation/pod resolution over the whole universe."""
+    """Fast address → allocation/pod resolution over the whole universe.
+
+    Idle space is represented only as the gaps between stored prefixes:
+    internally this is a flat prefix → allocation dict plus two lazily
+    (re)built indexes — the sorted prefix list (range queries) and the
+    leaf-interval breakpoints (longest-prefix match by bisect). At paper
+    scale (~10⁶ allocations) the per-bit trie this replaced spent most
+    of the build allocating nodes for address bits no query ever
+    distinguishes.
+    """
 
     def __init__(self) -> None:
-        self._trie: PrefixTrie[Allocation] = PrefixTrie()
+        self._by_prefix: Dict[Prefix, Allocation] = {}
         self._allocations: List[Allocation] = []
         #: Bumped on every add so compiled lookup indexes can detect
-        #: staleness (the simulator flattens the trie once per build).
+        #: staleness (the simulator flattens the map once per build).
         self.revision = 0
+        # (revision, sorted [(prefix, allocation)], [network ints]) and
+        # (revision, breakpoints, starts) caches.
+        self._sorted_cache: Optional[Tuple[int, List, List[int]]] = None
+        self._interval_cache: Optional[Tuple[int, List, List[int]]] = None
 
     def add(self, allocation: Allocation) -> None:
-        existing = self._trie.get(allocation.prefix)
-        if existing is not None:
+        if allocation.prefix in self._by_prefix:
             raise ValueError(f"duplicate allocation for {allocation.prefix}")
-        self._trie.insert(allocation.prefix, allocation)
+        self._by_prefix[allocation.prefix] = allocation
         self._allocations.append(allocation)
         allocation.pod.allocations.append(allocation)
         self.revision += 1
 
+    def _sorted_items(
+        self,
+    ) -> Tuple[List[Tuple[Prefix, Allocation]], List[int]]:
+        cached = self._sorted_cache
+        if cached is None or cached[0] != self.revision:
+            items = sorted(self._by_prefix.items())
+            nets = [stored.network for stored, _ in items]
+            cached = (self.revision, items, nets)
+            self._sorted_cache = cached
+        return cached[1], cached[2]
+
+    def _intervals(self) -> Tuple[List, List[int]]:
+        cached = self._interval_cache
+        if cached is None or cached[0] != self.revision:
+            points = leaf_intervals_from_items(self._sorted_items()[0])
+            starts = [start for start, _ in points]
+            cached = (self.revision, points, starts)
+            self._interval_cache = cached
+        return cached[1], cached[2]
+
     def lookup(self, addr: int) -> Optional[Allocation]:
         """Most-specific allocation covering an address."""
-        match = self._trie.lookup(addr)
-        return match[1] if match else None
+        points, starts = self._intervals()
+        return points[bisect_right(starts, addr) - 1][1]
 
     def leaf_intervals(self) -> List[Tuple[int, Optional[Allocation]]]:
         """The map flattened into sorted LPM breakpoints (see
-        :meth:`repro.net.trie.PrefixTrie.leaf_intervals`)."""
-        return self._trie.leaf_intervals()
+        :func:`repro.net.trie.leaf_intervals_from_items`)."""
+        return list(self._intervals()[0])
 
     def pod_of(self, addr: int) -> Optional[Pod]:
         allocation = self.lookup(addr)
@@ -169,12 +202,28 @@ class AllocationMap:
     def allocations_within(self, prefix: Prefix) -> List[Allocation]:
         """Allocations at or below a prefix (plus an enclosing one, if the
         prefix is inside a coarser allocation)."""
-        found = [value for _, value in self._trie.subtree(prefix)]
+        items, nets = self._sorted_items()
+        low = bisect_left(nets, prefix.network)
+        last = prefix.last
+        found = []
+        for stored, allocation in items[low:]:
+            if stored.network > last:
+                break
+            if stored.last <= last:
+                found.append(allocation)
         if not found:
-            enclosing = self._trie.lookup(prefix.network)
-            if enclosing and enclosing[0].contains_prefix(prefix):
-                found = [enclosing[1]]
+            enclosing = self.lookup(prefix.network)
+            if enclosing is not None and enclosing.prefix.contains_prefix(
+                prefix
+            ):
+                found = [enclosing]
         return found
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_sorted_cache"] = None
+        state["_interval_cache"] = None
+        return state
 
     def __iter__(self) -> Iterator[Allocation]:
         return iter(self._allocations)

@@ -25,6 +25,7 @@ Layout strategy (per organization):
 
 from __future__ import annotations
 
+import gc
 import math
 import random
 from dataclasses import dataclass
@@ -54,6 +55,7 @@ from .orgs import Organization, OrgRegistry
 from .rdns import SCHEME_PATTERN_COUNTS
 from .routing import Fib, Forwarder, RouteEntry
 from .topology import Router, RouterRole, Topology
+from .universe import LazySlash24Universe
 
 #: /8 regions available to host allocations: 1.0.0.0 .. 99.255.255.255,
 #: strictly below the router interface space at 100.0.0.0.
@@ -116,7 +118,7 @@ class BuiltScenario:
     allocations: AllocationMap
     geodb: GeoDatabase
     pods: List[Pod]
-    universe_slash24s: List[Prefix]
+    universe_slash24s: Sequence[Prefix]
     vantage_address: int
     host_seed: int
     loss_seed: int
@@ -124,7 +126,18 @@ class BuiltScenario:
 
 
 def build_scenario(config: ScenarioConfig) -> BuiltScenario:
-    return _Builder(config).build()
+    # The build allocates millions of long-lived objects at paper
+    # scale; with the collector on, recurring full-generation scans
+    # make construction superlinear. Nothing in the builder creates
+    # reference cycles that need collecting mid-build.
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        return _Builder(config).build()
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 @dataclass
@@ -146,18 +159,29 @@ class _Builder:
         self.allocations = AllocationMap()
         self.geodb = GeoDatabase()
         self.pods: List[Pod] = []
-        self.universe: List[Prefix] = []
+        # Network addresses (ints) of allocated /24s; frozen into a
+        # LazySlash24Universe at the end of the build so idle space and
+        # Prefix objects are never materialized per-/24.
+        self.universe: List[int] = []
         self.space = _SpaceAllocator(self.seeds.random("space"))
         self.customer_counter = 0
         # Builder-internal plans keyed by pod id.
         self._explicit_lasthop_k: Dict[int, int] = {}
         self._explicit_lasthop_mode: Dict[int, str] = {}
         self._split_planned: set = set()
+        #: pod_id → shared next-hop selector (see _install_route).
+        self._pod_selectors: Dict[int, NextHopSelector] = {}
 
     # -- infrastructure helpers ----------------------------------------
 
     def fib(self, router: Router) -> Fib:
-        return self.fibs.setdefault(router.router_id, Fib())
+        # Hot: called several times per installed prefix. get-then-set
+        # rather than setdefault so the miss path alone pays a Fib().
+        fib = self.fibs.get(router.router_id)
+        if fib is None:
+            fib = Fib()
+            self.fibs[router.router_id] = fib
+        return fib
 
     def _lasthop_rate_limiter(self) -> Optional[RateLimiter]:
         if self.config.lasthop_rate_limit is None:
@@ -197,9 +221,10 @@ class _Builder:
         for org_spec in self.config.orgs:
             self._build_org(org_spec)
         forwarder = Forwarder(self.topology, self.fibs, vantage_gw)
-        # Freeze every FIB into its flat-interval form up front: probing
-        # then never pays a trie walk (no-op under the reference engine).
-        forwarder.precompile()
+        # FIBs freeze into their flat-interval form lazily, on first
+        # resolution through each router: a paper-scale build has
+        # hundreds of thousands of last-hop FIBs and a campaign only
+        # pays for the ones it actually traverses.
         return BuiltScenario(
             config=self.config,
             topology=self.topology,
@@ -209,7 +234,7 @@ class _Builder:
             allocations=self.allocations,
             geodb=self.geodb,
             pods=self.pods,
-            universe_slash24s=sorted(self.universe),
+            universe_slash24s=LazySlash24Universe(self.universe),
             vantage_address=addrmod.parse(self.config.vantage_address_text),
             host_seed=self.seeds.seed("hosts"),
             loss_seed=self.seeds.seed("loss"),
@@ -689,17 +714,16 @@ class _Builder:
         last: int,
         rng: random.Random,
     ) -> None:
-        slash24s = [
-            Prefix(network, 24) for network in range(first, last + 1, 256)
-        ]
         # A single-/24 pod may instead be split into sub-allocations.
         if pod.pod_id in self._split_planned:
-            self._install_split_slash24(spec, org, metro, pod, slash24s[0], rng)
+            self._install_split_slash24(
+                spec, org, metro, pod, Prefix(first, 24), rng
+            )
             return
         for prefix in to_prefixes(first, last):
             self._register_allocation(spec, org, pod, prefix, rng, split=False)
             self._install_route(metro, pod, prefix)
-        self.universe.extend(slash24s)
+        self.universe.extend(range(first, last + 1, 256))
 
     def _install_split_slash24(
         self,
@@ -748,7 +772,7 @@ class _Builder:
                 spec, org, pod, sub_prefix, rng, split=True
             )
             self._install_route(metro, pod, sub_prefix)
-        self.universe.append(slash24)
+        self.universe.append(slash24.network)
 
     def _register_allocation(
         self,
@@ -796,24 +820,28 @@ class _Builder:
         )
 
     def _install_route(self, metro: Router, pod: Pod, prefix: Prefix) -> None:
-        if pod.lasthop_count == 1:
-            selector: NextHopSelector = SingleNextHop(
-                pod.lasthop_router_ids[0]
-            )
-        elif pod.lasthop_mode == "per-flow":
-            selector = PerFlowBalancer(
-                pod.lasthop_router_ids, pod.lasthop_salt
-            )
-        elif pod.lasthop_mode == "hybrid":
-            selector = HybridBalancer(
-                pod.lasthop_router_ids, pod.lasthop_salt
-            )
-        else:
-            selector = PerDestinationBalancer(
-                pod.lasthop_router_ids,
-                pod.lasthop_salt,
-                include_source=pod.lasthop_source_hash,
-            )
+        # Selectors are pure functions of the pod's (frozen by now)
+        # last-hop configuration, so a big pod's many route entries
+        # share one instance instead of allocating one per prefix.
+        selector = self._pod_selectors.get(pod.pod_id)
+        if selector is None:
+            if pod.lasthop_count == 1:
+                selector = SingleNextHop(pod.lasthop_router_ids[0])
+            elif pod.lasthop_mode == "per-flow":
+                selector = PerFlowBalancer(
+                    pod.lasthop_router_ids, pod.lasthop_salt
+                )
+            elif pod.lasthop_mode == "hybrid":
+                selector = HybridBalancer(
+                    pod.lasthop_router_ids, pod.lasthop_salt
+                )
+            else:
+                selector = PerDestinationBalancer(
+                    pod.lasthop_router_ids,
+                    pod.lasthop_salt,
+                    include_source=pod.lasthop_source_hash,
+                )
+            self._pod_selectors[pod.pod_id] = selector
         self.fib(metro).install(RouteEntry(prefix, selector))
         for router_id in pod.lasthop_router_ids:
             router = self.topology.by_id(router_id)

@@ -13,7 +13,7 @@ three questions the paper could never answer for the real Internet:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..net.prefix import Prefix
 from .allocation import AllocationMap, Pod
@@ -33,23 +33,37 @@ class TrueBlock:
 
 
 class GroundTruth:
-    """Oracle over the generated scenario."""
+    """Oracle over the generated scenario.
+
+    Everything is resolved lazily against the allocation map: a
+    paper-scale universe has millions of /24s, and scoring usually only
+    touches the measured subset, so precomputing the pod list for every
+    /24 up front (as an earlier version did) made scenario construction
+    the dominant cost.
+    """
 
     def __init__(
-        self, allocations: AllocationMap, universe_slash24s: List[Prefix]
+        self, allocations: AllocationMap, universe_slash24s: Sequence[Prefix]
     ) -> None:
         self._allocations = allocations
-        self._universe = list(universe_slash24s)
+        self._universe = universe_slash24s
         self._pods_by_slash24: Dict[Prefix, List[Pod]] = {}
-        for slash24 in self._universe:
-            self._pods_by_slash24[slash24] = allocations.slash24_pods(slash24)
+        self._universe_set: Optional[Set[Prefix]] = None
 
     @property
-    def universe_slash24s(self) -> List[Prefix]:
-        return list(self._universe)
+    def universe_slash24s(self) -> Sequence[Prefix]:
+        return self._universe
 
     def pods_of(self, slash24: Prefix) -> List[Pod]:
-        return self._pods_by_slash24.get(slash24, [])
+        pods = self._pods_by_slash24.get(slash24)
+        if pods is None:
+            if self._universe_set is None:
+                self._universe_set = set(self._universe)
+            if slash24 not in self._universe_set:
+                return []
+            pods = self._allocations.slash24_pods(slash24)
+            self._pods_by_slash24[slash24] = pods
+        return pods
 
     def is_homogeneous(self, slash24: Prefix) -> bool:
         """True iff every allocated address in the /24 is in one pod."""

@@ -106,12 +106,15 @@ class SimulatedInternet:
         state = self.__dict__.copy()
         state["_alloc_index"] = None
         state["_prop_cache"] = {}
+        # The compiled campaign engine holds references into this
+        # process's compiled forwarding plane; workers rebuild their own.
+        state.pop("_fast_engine", None)
         return state
 
     # -- universe ---------------------------------------------------------
 
     @property
-    def universe_slash24s(self) -> List[Prefix]:
+    def universe_slash24s(self) -> Sequence[Prefix]:
         return self.ground_truth.universe_slash24s
 
     # -- clock ------------------------------------------------------------

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..net.prefix import Prefix
-from ..net.trie import PrefixTrie
+from ..net.trie import PrefixTrie, leaf_intervals_from_items
 from .loadbalance import (
     NextHopSelector,
     PerDestinationBalancer,
@@ -71,33 +71,56 @@ class RouteEntry:
 
 
 class Fib:
-    """Longest-prefix-match forwarding table for one router."""
+    """Longest-prefix-match forwarding table for one router.
+
+    Stored as a flat prefix → entry dict. A paper-scale scenario holds
+    tens of thousands of FIBs with hundreds of thousands of entries
+    total; per-bit trie nodes (~24 per entry) dominated build time and
+    memory, while the compiled fast path only ever needs the sorted
+    interval projection. The trie is now built lazily, per FIB, the
+    first time something actually longest-prefix-matches through
+    :meth:`lookup` — in practice only the reference engine
+    (``REPRO_REFERENCE_ENGINE=1``) and a few tests.
+    """
 
     def __init__(self) -> None:
-        self._trie: PrefixTrie[RouteEntry] = PrefixTrie()
+        self._entries: Dict[Prefix, RouteEntry] = {}
         #: Bumped on every install so compiled copies can detect staleness.
         self.revision = 0
+        self._lookup_trie: Optional[PrefixTrie[RouteEntry]] = None
 
     def install(self, entry: RouteEntry) -> None:
         """Install (or replace) the entry for its prefix."""
-        self._trie.insert(entry.prefix, entry)
+        self._entries[entry.prefix] = entry
         self.revision += 1
+        self._lookup_trie = None
 
     def lookup(self, dst: int) -> Optional[RouteEntry]:
         """Longest-prefix match for a destination address."""
-        match = self._trie.lookup(dst)
+        trie = self._lookup_trie
+        if trie is None:
+            trie = PrefixTrie()
+            for prefix, entry in self._entries.items():
+                trie.insert(prefix, entry)
+            self._lookup_trie = trie
+        match = trie.lookup(dst)
         return match[1] if match else None
 
     def leaf_intervals(self) -> List[Tuple[int, Optional[RouteEntry]]]:
         """The table flattened into sorted LPM breakpoints (see
         :meth:`repro.net.trie.PrefixTrie.leaf_intervals`)."""
-        return self._trie.leaf_intervals()
+        return leaf_intervals_from_items(sorted(self._entries.items()))
 
     def entries(self) -> List[RouteEntry]:
-        return [entry for _, entry in self._trie.items()]
+        return [entry for _, entry in sorted(self._entries.items())]
 
     def __len__(self) -> int:
-        return len(self._trie)
+        return len(self._entries)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_lookup_trie"] = None
+        return state
 
 
 class _CompiledEntry:

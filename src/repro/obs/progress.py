@@ -40,14 +40,19 @@ class ProgressReporter:
 
     def __init__(
         self,
-        total: int,
+        total,
         label: str = "campaign",
         unit: str = "/24s",
         stream: Optional[TextIO] = None,
         min_interval_seconds: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
-        self.total = total
+        # ``total`` may be a count or any sized collection — including a
+        # lazily-materializing universe whose __len__ is not free. Size
+        # it exactly once here; every tick reads the cached int (an
+        # earlier version re-counted per tick, which at paper scale made
+        # the *reporter* a hot spot).
+        self.total = total if isinstance(total, int) else len(total)
         self.label = label
         self.unit = unit
         self.stream = stream if stream is not None else sys.stderr

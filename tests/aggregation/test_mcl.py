@@ -10,6 +10,7 @@ from repro.aggregation.sweep import (
     run_mcl_on_components,
     weak_intra_cluster_fraction,
 )
+from repro.obs import metrics_scope
 
 
 def two_cliques_graph(bridge_weight=0.05):
@@ -46,6 +47,18 @@ class TestMcl:
         clusters = sorted(map(tuple, result.clusters))
         assert (2,) in clusters
         assert (3,) in clusters
+
+    def test_nnz_peak_gauge_recorded(self):
+        """The densest expansion intermediate — MCL's memory high-water
+        mark — lands in the metrics registry."""
+        adjacency = two_cliques_graph().to_sparse()
+        with metrics_scope() as registry:
+            mcl(adjacency, inflation=2.0)
+        peak = registry.gauge_value("mcl.nnz_peak")
+        # At least as dense as the normalised input (adjacency plus
+        # self loops); expansion only adds fill-in.
+        assert peak >= adjacency.nnz + adjacency.shape[0]
+        assert registry.counter_value("mcl.runs") == 1
 
     def test_clusters_partition_vertices(self):
         result = mcl(two_cliques_graph().to_sparse())

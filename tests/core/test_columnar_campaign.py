@@ -1,0 +1,313 @@
+"""Golden parity for the columnar campaign path.
+
+The columnar fast engine (``core.fastengine``) and the columnar result
+representation (``core.columnar``) must be *bit-identical* to the
+object path: same measurements (through the canonical store codec,
+byte for byte), same probe accounting, same store records, same
+simulator end state — on tiny and small profiles, serial and with
+workers=2. The object path stays available behind
+``REPRO_CAMPAIGN_ENGINE=object`` / ``result_format="object"``; these
+tests are what make the default safe.
+"""
+
+import os
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core import CampaignResult, TerminationPolicy, run_campaign
+from repro.core.classifier import CATEGORY_ORDER, Slash24Measurement
+from repro.core.columnar import (
+    RESULT_FORMAT_ENV,
+    ColumnarCampaignResult,
+    result_format_name,
+)
+from repro.core.fastengine import CAMPAIGN_ENGINE_ENV, campaign_engine_name
+from repro.net.prefix import Prefix
+from repro.netsim import SimulatedInternet, paper_scenario, tiny_scenario
+from repro.probing import scan
+from repro.store import MeasurementStore
+from repro.store.codec import canonical_json_bytes, measurement_to_dict
+
+CAMPAIGN_SEED = 77
+MAX_DESTINATIONS = 32
+
+
+def _scenario(profile):
+    if profile == "tiny":
+        return tiny_scenario(seed=13)
+    return paper_scenario(scale=0.05, seed=13)
+
+
+class _Run:
+    """One campaign under one (engine, result format, workers) setup."""
+
+    def __init__(self, profile, engine, result_format, workers, store_root,
+                 slash24s=24):
+        previous = os.environ.get(CAMPAIGN_ENGINE_ENV)
+        os.environ[CAMPAIGN_ENGINE_ENV] = engine
+        try:
+            internet = SimulatedInternet.from_config(_scenario(profile))
+            snapshot = scan(internet)
+            self.selection = snapshot.eligible_slash24s()[:slash24s]
+            with MeasurementStore(store_root) as store:
+                self.result = run_campaign(
+                    internet,
+                    TerminationPolicy(),
+                    slash24s=self.selection,
+                    snapshot=snapshot,
+                    seed=CAMPAIGN_SEED,
+                    max_destinations_per_slash24=MAX_DESTINATIONS,
+                    workers=workers,
+                    store=store,
+                    result_format=result_format,
+                )
+                self.records = {
+                    document["key"]: document
+                    for document in store.documents()
+                }
+            self.clock_seconds = internet.clock_seconds
+            self.probe_count = internet.probe_count
+        finally:
+            if previous is None:
+                os.environ.pop(CAMPAIGN_ENGINE_ENV, None)
+            else:
+                os.environ[CAMPAIGN_ENGINE_ENV] = previous
+
+
+@pytest.fixture(scope="module", params=["tiny", "small"])
+def profile(request):
+    return request.param
+
+
+@pytest.fixture(scope="module", params=[1, 2], ids=["serial", "workers2"])
+def workers(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def object_run(profile, workers, tmp_path_factory):
+    return _Run(
+        profile, "object", "object", workers,
+        tmp_path_factory.mktemp("obj-store") / "s",
+    )
+
+
+@pytest.fixture(scope="module")
+def columnar_run(profile, workers, tmp_path_factory):
+    return _Run(
+        profile, "columnar", "columnar", workers,
+        tmp_path_factory.mktemp("col-store") / "s",
+    )
+
+
+class TestGoldenParity:
+    def test_result_types(self, object_run, columnar_run):
+        assert isinstance(object_run.result, CampaignResult)
+        assert isinstance(columnar_run.result, ColumnarCampaignResult)
+
+    def test_measurements_bit_identical(self, object_run, columnar_run):
+        slow = object_run.result.measurements
+        fast = columnar_run.result.measurements
+        assert list(fast) == list(slow)
+        for slash24 in slow:
+            assert fast[slash24] == slow[slash24], slash24
+            assert canonical_json_bytes(
+                measurement_to_dict(fast[slash24])
+            ) == canonical_json_bytes(measurement_to_dict(slow[slash24]))
+
+    def test_probe_accounting_identical(self, object_run, columnar_run):
+        assert (
+            columnar_run.result.probes_used == object_run.result.probes_used
+        )
+        assert columnar_run.probe_count == object_run.probe_count
+
+    def test_simulator_end_state_identical(self, object_run, columnar_run):
+        assert columnar_run.clock_seconds == object_run.clock_seconds
+
+    def test_summaries_identical(self, object_run, columnar_run):
+        assert (
+            columnar_run.result.category_counts()
+            == object_run.result.category_counts()
+        )
+        assert columnar_run.result.lasthop_sets() == (
+            object_run.result.lasthop_sets()
+        )
+        assert columnar_run.result.homogeneous_fraction_of_analyzable() == (
+            object_run.result.homogeneous_fraction_of_analyzable()
+        )
+
+    def test_store_records_identical(self, object_run, columnar_run):
+        """Store records written by the columnar campaign are
+        byte-identical to the object path's."""
+        assert set(columnar_run.records) == set(object_run.records)
+        assert len(columnar_run.records) >= len(columnar_run.selection)
+        for key, document in object_run.records.items():
+            assert canonical_json_bytes(
+                columnar_run.records[key]
+            ) == canonical_json_bytes(document), key
+
+
+class TestCrossFormatResume:
+    """Satellite: columnar↔object store round-trips.
+
+    A store written by one path must satisfy a resume under the other
+    path without a single probe, replaying bit-identical measurements.
+    """
+
+    @pytest.mark.parametrize(
+        "writer,reader",
+        [("columnar", "object"), ("object", "columnar")],
+    )
+    def test_cross_format_warm_resume(
+        self, writer, reader, tmp_path_factory
+    ):
+        root = tmp_path_factory.mktemp(f"{writer}-to-{reader}") / "s"
+        first = _Run("tiny", writer, writer, 1, root)
+        previous = os.environ.get(CAMPAIGN_ENGINE_ENV)
+        os.environ[CAMPAIGN_ENGINE_ENV] = reader
+        try:
+            internet = SimulatedInternet.from_config(_scenario("tiny"))
+            snapshot = scan(internet)
+            with MeasurementStore(root) as store:
+                result = run_campaign(
+                    internet,
+                    TerminationPolicy(),
+                    slash24s=first.selection,
+                    snapshot=snapshot,
+                    seed=CAMPAIGN_SEED,
+                    max_destinations_per_slash24=MAX_DESTINATIONS,
+                    store=store,
+                    result_format=reader,
+                )
+        finally:
+            if previous is None:
+                os.environ.pop(CAMPAIGN_ENGINE_ENV, None)
+            else:
+                os.environ[CAMPAIGN_ENGINE_ENV] = previous
+        assert internet.probe_count == 0  # pure replay
+        assert list(result.measurements) == list(first.result.measurements)
+        for slash24 in first.result.measurements:
+            assert result.measurements[slash24] == (
+                first.result.measurements[slash24]
+            )
+
+
+def _synthetic_columnar(rows):
+    """A columnar result with ``rows`` synthetic /24 measurements."""
+    result = ColumnarCampaignResult()
+    for row in range(rows):
+        network = (10 << 24) | (row << 8)
+        dst = network + 7
+        result.add(
+            Slash24Measurement(
+                slash24=Prefix(network, 24),
+                category=CATEGORY_ORDER[row % len(CATEGORY_ORDER)],
+                observations={dst: frozenset({network + 1})},
+                destinations_probed=1,
+                hosts_responsive=5,
+                probes_used=9,
+            )
+        )
+    result.columns()  # finalize
+    return result
+
+
+class TestSubsetScaling:
+    """Satellite: ``subset`` of a large columnar result is O(selection)."""
+
+    def test_subset_allocates_o_selection(self):
+        rows = 100_000
+        big = _synthetic_columnar(rows)
+        picks = [Prefix((10 << 24) | (row << 8), 24) for row in range(64)]
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        view = big.subset(picks)
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        allocated = sum(
+            stat.size_diff for stat in after.compare_to(before, "filename")
+            if stat.size_diff > 0
+        )
+        # 64 rows of fixed-width columns is ~2KB; the 100k-row pools
+        # must be shared, not copied (they alone are >3MB).
+        assert allocated < 256 * 1024, f"subset allocated {allocated} bytes"
+        assert view.total == len(picks)
+        assert view._arrays["dst_pool"] is big._arrays["dst_pool"]
+        assert view._arrays["lh_pool"] is big._arrays["lh_pool"]
+
+    def test_subset_contents(self):
+        big = _synthetic_columnar(512)
+        picks = [Prefix((10 << 24) | (row << 8), 24) for row in (3, 200, 17)]
+        view = big.subset(picks)
+        assert view.prefixes() == picks
+        assert [m.slash24 for m in view] == picks
+        for pick in picks:
+            assert view.get(pick) == big.get(pick)
+        assert view.probes_used == sum(big.get(p).probes_used for p in picks)
+        with pytest.raises(KeyError):
+            big.subset([Prefix(11 << 24, 24)])
+        with pytest.raises(ValueError):
+            big.subset([picks[0], picks[0]])
+
+    def test_iteration_is_lazy(self):
+        big = _synthetic_columnar(4096)
+        iterator = iter(big)
+        first = next(iterator)
+        assert first.slash24 == Prefix(10 << 24, 24)
+        # The mapping view materializes one measurement per access.
+        view = big.measurements
+        assert len(view) == 4096
+        assert view[first.slash24] == first
+
+
+class TestRoundTrip:
+    def test_object_round_trip_exact(self):
+        columnar = _synthetic_columnar(97)
+        as_object = columnar.to_object()
+        back = ColumnarCampaignResult.from_campaign_result(as_object)
+        assert list(back) == list(columnar)
+        for key in ("nets", "cats", "stops", "dests", "hosts", "probes"):
+            assert np.array_equal(back.columns()[key], columnar.columns()[key])
+
+    def test_duplicate_add_rejected(self):
+        columnar = _synthetic_columnar(3)
+        with pytest.raises(ValueError):
+            columnar.add(next(iter(columnar)))
+
+    def test_merge_disjoint(self):
+        left = _synthetic_columnar(5)
+        right = ColumnarCampaignResult()
+        measurement = Slash24Measurement(
+            slash24=Prefix(11 << 24, 24),
+            category=CATEGORY_ORDER[0],
+            observations={},
+            destinations_probed=0,
+            hosts_responsive=0,
+            probes_used=2,
+        )
+        right.add(measurement)
+        left.merge(right)
+        assert left.total == 6
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+
+class TestFormatSelection:
+    def test_env_selects_format(self, monkeypatch):
+        monkeypatch.delenv(RESULT_FORMAT_ENV, raising=False)
+        assert result_format_name() == "object"
+        monkeypatch.setenv(RESULT_FORMAT_ENV, "columnar")
+        assert result_format_name() == "columnar"
+        assert result_format_name("object") == "object"  # override wins
+        with pytest.raises(ValueError):
+            result_format_name("parquet")
+
+    def test_engine_env(self, monkeypatch):
+        monkeypatch.delenv(CAMPAIGN_ENGINE_ENV, raising=False)
+        assert campaign_engine_name() == "columnar"
+        monkeypatch.setenv(CAMPAIGN_ENGINE_ENV, "object")
+        assert campaign_engine_name() == "object"
+        monkeypatch.setenv(CAMPAIGN_ENGINE_ENV, "reference")
+        assert campaign_engine_name() == "object"

@@ -12,6 +12,7 @@ between the two engines.
 import pytest
 
 from repro.core import TerminationPolicy, run_campaign
+from repro.core.fastengine import CAMPAIGN_ENGINE_ENV
 from repro.net.prefix import Prefix
 from repro.netsim import SimulatedInternet, tiny_scenario
 from repro.netsim.routing import (
@@ -35,6 +36,12 @@ class _EngineRun:
         import os
 
         previous = os.environ.get(REFERENCE_ENGINE_ENV)
+        previous_campaign = os.environ.get(CAMPAIGN_ENGINE_ENV)
+        # This suite exercises the compiled *forwarding* plane against
+        # its reference; keep the object-path campaign engine so the
+        # batched probe path (asserted below) actually runs. The
+        # columnar campaign engine has its own golden suite.
+        os.environ[CAMPAIGN_ENGINE_ENV] = "object"
         if reference:
             os.environ[REFERENCE_ENGINE_ENV] = "1"
         else:
@@ -69,6 +76,10 @@ class _EngineRun:
                 os.environ.pop(REFERENCE_ENGINE_ENV, None)
             else:
                 os.environ[REFERENCE_ENGINE_ENV] = previous
+            if previous_campaign is None:
+                os.environ.pop(CAMPAIGN_ENGINE_ENV, None)
+            else:
+                os.environ[CAMPAIGN_ENGINE_ENV] = previous_campaign
 
 
 @pytest.fixture(scope="module")

@@ -99,6 +99,59 @@ class TestLineContents:
         assert "(100.0%)" in stream.getvalue()
 
 
+class CountingSequence:
+    """A sized lazy collection whose ``__len__`` is observable.
+
+    Stands in for a lazily-materializing scenario universe
+    (``LazySlash24Universe``): sizing it is not free, so the reporter
+    must do it exactly once, not per tick.
+    """
+
+    def __init__(self, size):
+        self.size = size
+        self.len_calls = 0
+
+    def __len__(self):
+        self.len_calls += 1
+        return self.size
+
+
+class TestLazyTotals:
+    def test_total_sized_exactly_once(self):
+        universe = CountingSequence(1_000_000)
+        clock = FakeClock()
+        reporter = ProgressReporter(
+            universe,
+            stream=io.StringIO(),
+            min_interval_seconds=1.0,
+            clock=clock,
+        )
+        assert universe.len_calls == 1
+        for tick in range(50):
+            clock.now = float(tick * 2)
+            reporter.update(tick, probes=tick * 100)
+        reporter.finish(probes=5000)
+        assert universe.len_calls == 1
+        assert reporter.total == 1_000_000
+
+    def test_eta_against_lazy_universe(self):
+        universe = CountingSequence(100)
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            universe, stream=stream, min_interval_seconds=1.0, clock=clock
+        )
+        clock.now = 10.0  # 25 done in 10s -> 75 left at 2.5/s = 30s
+        reporter.update(25)
+        assert "ETA 30s" in stream.getvalue()
+        assert universe.len_calls == 1
+
+    def test_int_total_still_accepted(self):
+        reporter, _, stream = _reporter(total=10)
+        reporter.update(5)
+        assert "5/10" in stream.getvalue()
+
+
 class TestOptIn:
     def test_disabled_unless_env_is_one(self, monkeypatch):
         monkeypatch.delenv("REPRO_PROGRESS", raising=False)
