@@ -33,6 +33,7 @@ from typing import List, Optional
 
 from .experiments import (
     PROFILES,
+    close_workspaces,
     experiment_ids,
     get_workspace,
     run_experiment,
@@ -50,7 +51,7 @@ from .obs import (
 from .util.fileio import atomic_writer
 from .util.tables import render_table
 
-STORE_ACTIONS = ("ls", "info", "verify", "gc")
+STORE_ACTIONS = ("ls", "info", "verify", "gc", "leases")
 TRACE_ACTIONS = ("summarize",)
 
 
@@ -137,7 +138,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "ls: stored campaigns; info: store summary; verify: full "
             "checksum pass; gc: compact segments, dropping damaged and "
-            "superseded records"
+            "superseded records; leases: per-campaign lease-ledger "
+            "state (distributed executor claims/steals/progress)"
         ),
     )
     store_parser.add_argument(
@@ -421,6 +423,32 @@ def command_store(action: str, path: Optional[str]) -> int:
             file=sys.stderr,
         )
         return 2
+    if action == "leases":
+        from .store import summarize_ledgers
+
+        rows = [
+            [
+                summary["campaign"][:16],
+                summary["generation"],
+                f"{summary['slash24s_done']}/{summary['slash24s']}",
+                summary["done"],
+                summary["batches"],
+                summary["claims"],
+                summary["steals"],
+                summary["lapsed"],
+                summary["workers"],
+            ]
+            for summary in summarize_ledgers(root)
+        ]
+        print(render_table(
+            [
+                "campaign", "gen", "/24s", "done", "batches",
+                "claims", "steals", "lapsed", "workers",
+            ],
+            rows,
+            title=f"lease ledgers in {root}",
+        ))
+        return 0
     with MeasurementStore(root) as store:
         if action == "info":
             rows = [[key, value] for key, value in store.info().items()]
@@ -463,29 +491,34 @@ def command_store(action: str, path: Optional[str]) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return command_list()
-    if args.command == "run":
-        return command_run(
-            args.experiments, args.profile, args.json, args.workers,
-            args.store, args.trace,
-        )
-    if args.command == "scenario":
-        return command_scenario(args.profile)
-    if args.command == "export":
-        return command_export(
-            args.directory, args.profile, args.workers, args.store,
-            args.trace,
-        )
-    if args.command == "validate":
-        return command_validate(
-            args.profile, args.workers, args.store, args.trace
-        )
-    if args.command == "trace":
-        return command_trace(args.action, args.path)
-    if args.command == "store":
-        return command_store(args.action, args.path)
-    raise AssertionError("unreachable")
+    try:
+        if args.command == "list":
+            return command_list()
+        if args.command == "run":
+            return command_run(
+                args.experiments, args.profile, args.json, args.workers,
+                args.store, args.trace,
+            )
+        if args.command == "scenario":
+            return command_scenario(args.profile)
+        if args.command == "export":
+            return command_export(
+                args.directory, args.profile, args.workers, args.store,
+                args.trace,
+            )
+        if args.command == "validate":
+            return command_validate(
+                args.profile, args.workers, args.store, args.trace
+            )
+        if args.command == "trace":
+            return command_trace(args.action, args.path)
+        if args.command == "store":
+            return command_store(args.action, args.path)
+        raise AssertionError("unreachable")
+    finally:
+        # Whatever command ran, release any persistent-store handles the
+        # workspaces opened (segment writers must close deterministically).
+        close_workspaces()
 
 
 if __name__ == "__main__":

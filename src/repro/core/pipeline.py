@@ -22,13 +22,16 @@ once:
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import pickle
 import random
+import shutil
+import tempfile
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..net.prefix import Prefix
 from ..netsim.internet import SimulatedInternet
@@ -224,27 +227,57 @@ def _measure_in_context(
     return measurement, prober.stats
 
 
-# -- parallel shard execution ----------------------------------------------
+# -- lease-based distributed execution --------------------------------------
+#
+# ``workers=N`` no longer shards the /24 list statically: the list is
+# cut into bounded batches, published as a plan in a lease ledger next
+# to the measurement store (:mod:`repro.store.lease`), and worker
+# processes *claim* batches as time-limited leases, checkpointing every
+# completed /24 through the store. A dead worker's lease lapses and is
+# re-claimed by a surviving worker (or, if all workers died, by the
+# parent), so the campaign loses at most the un-checkpointed part of
+# one batch per death — and re-measuring that part is byte-identical
+# anyway, because each /24's measurement is a pure function of its
+# deterministic context.
 
-#: Per-worker-process state, installed once by the pool initializer so
-#: the (heavy) simulator and policy are pickled per worker, not per /24.
-_WORKER_CONTEXT: dict = {}
+#: Batches planned per worker. More batches than workers is what makes
+#: work-stealing effective: a fast worker drains several while a slow
+#: one holds only its current lease, and a dead worker forfeits at most
+#: its one in-flight batch — everything it completed is already durably
+#: checkpointed and marked done.
+_BATCHES_PER_WORKER = 4
 
-_ShardItem = Tuple[Prefix, List[int]]
+#: How long claimants sleep when every remaining batch is under a live
+#: lease (waiting for a completion or a lapse), and how often the
+#: parent polls the ledger for progress.
+_LEASE_POLL_SECONDS = 0.05
 
-#: Chunks submitted per worker. More chunks than workers keeps the pool
-#: load-balanced *and* bounds what a killed run can lose: with a store
-#: attached, every completed chunk's /24s are already checkpointed, so
-#: at most ``workers`` in-flight chunks of work are repeated on resume.
-_CHUNKS_PER_WORKER = 4
+#: Lease time-to-live override (seconds). Tests and the CI faulty-worker
+#: smoke job shrink it so a killed worker's batch is reclaimed quickly.
+_LEASE_TTL_ENV = "REPRO_LEASE_TTL"
+
+#: Fault injection: comma-separated ``"<worker_index>:<checkpoints>"``
+#: entries. Each named worker SIGKILLs itself right after durably
+#: checkpointing that many fresh /24s — i.e. mid-batch, lease held,
+#: rest of the batch unfinished. ``"0:1"`` kills one worker (lease
+#: stolen by a peer); ``"0:1,1:1"`` with ``workers=2`` kills them all
+#: (parent takeover). The crash-consistency tests and the CI
+#: faulty-worker smoke job drive this.
+_LEASE_KILL_ENV = "REPRO_LEASE_KILL"
 
 
-def _init_shard_worker(payload: bytes) -> None:
-    _WORKER_CONTEXT["campaign"] = pickle.loads(payload)
-    # Workers never write the parent's trace journal: concurrent
-    # appends from several processes would interleave. Their telemetry
-    # flows back as a metrics registry per chunk instead.
-    configure_tracing(None)
+def _parse_kill_spec(spec: Optional[str], worker_index: int) -> Optional[int]:
+    """Checkpoint count after which *this* worker self-destructs."""
+    if not spec:
+        return None
+    for entry in spec.split(","):
+        index_text, _, count_text = entry.partition(":")
+        try:
+            if int(index_text) == worker_index:
+                return max(1, int(count_text))
+        except ValueError:
+            continue
+    return None
 
 
 def _fold_measurement_metrics(
@@ -265,42 +298,102 @@ def _fold_measurement_metrics(
     )
 
 
-def _measure_shard(
-    shard: List[_ShardItem],
-) -> Tuple[
-    List[Tuple[Slash24Measurement, ProbeStats]], MetricsRegistry, Tuple
-]:
-    """Measure one chunk of /24s in the worker's private simulator copy.
+def _lease_worker_main(
+    payload: bytes,
+    store_root: str,
+    campaign: str,
+    generation: int,
+    worker_id: str,
+    worker_index: int,
+    ttl: float,
+    fsync: bool,
+) -> None:
+    """One worker process's claim → measure → checkpoint → renew loop.
 
-    Returns per-/24 (measurement, probe stats) pairs in chunk order (so
-    the parent can checkpoint each /24 with its own probe accounting),
-    the chunk's metrics registry, and the worker engine's timing deltas
-    — (probe_seconds, probe_batches, batched_probes) — which the parent
-    folds into its simulator so post-campaign ``stats()`` attribution
-    matches the serial run's semantics.
+    Workers receive the campaign fingerprint as a string computed by
+    the parent (never recomputed — ``repr``-based policy fingerprints
+    are only stable within the process that minted them) and coordinate
+    exclusively through the store directory: measurements go into the
+    measurement store, claims into the lease ledger. Nothing flows back
+    over a pipe, which is precisely why losing this process loses no
+    completed work.
     """
-    internet, policy, seed, clock_base, max_destinations = _WORKER_CONTEXT[
-        "campaign"
-    ]
-    base_seconds = internet.probe_seconds
-    base_batches = internet.probe_batches
-    base_batched = internet.batched_probes
-    registry = MetricsRegistry()
-    pairs = [
-        _measure_in_context(
-            internet, policy, slash24, snapshot_active,
-            seed, clock_base, max_destinations,
-        )
-        for slash24, snapshot_active in shard
-    ]
-    for measurement, stats in pairs:
-        _fold_measurement_metrics(registry, measurement, stats)
-    engine_deltas = (
-        internet.probe_seconds - base_seconds,
-        internet.probe_batches - base_batches,
-        internet.batched_probes - base_batched,
+    # Workers never write the parent's trace journal: concurrent appends
+    # from several processes would interleave.
+    configure_tracing(None)
+    from ..store import CampaignCache, MeasurementStore
+    from ..store.lease import LeaseLedger
+
+    kill_after = _parse_kill_spec(
+        os.environ.get(_LEASE_KILL_ENV), worker_index
     )
-    return pairs, registry, engine_deltas
+    internet, policy, seed, clock_base, max_destinations = pickle.loads(
+        payload
+    )
+    base = (
+        internet.probe_seconds, internet.probe_batches,
+        internet.batched_probes,
+    )
+    checkpoints = claims = steals = 0
+    with MeasurementStore(store_root, fsync=fsync) as store, LeaseLedger(
+        store_root, campaign, ttl=ttl, fsync=fsync
+    ) as ledger:
+        cache = CampaignCache(store, campaign)
+        # Renew often enough that a live lease can never lapse: well
+        # inside both the tentative window and the half-TTL threshold
+        # below which renewals actually append.
+        renew_every = min(ledger.tentative_ttl, ledger.ttl / 2) / 2
+        while True:
+            claim, campaign_done = ledger.claim(
+                worker_id, generation, pid=os.getpid()
+            )
+            if claim is None:
+                if campaign_done:
+                    break
+                time.sleep(_LEASE_POLL_SECONDS)
+                continue
+            claims += 1
+            steals += int(claim.stolen)
+            if claim.stolen:
+                # The previous owner may have checkpointed part of this
+                # batch before dying; pick its records up so only the
+                # genuinely unmeasured rest is re-measured.
+                store.refresh()
+            completed = True
+            next_renew = 0.0
+            for prefix_text, active in claim.slash24s:
+                now = time.time()
+                if now >= next_renew:
+                    if not ledger.renew(claim):
+                        # Stolen out from under us (we stalled past the
+                        # TTL); the thief re-measures what we didn't
+                        # checkpoint, identically. Abandon the batch.
+                        completed = False
+                        break
+                    next_renew = now + renew_every
+                slash24 = Prefix.parse(prefix_text)
+                if claim.stolen and cache.lookup(slash24, active) is not None:
+                    continue  # the dead owner got this far
+                measurement, stats = _measure_in_context(
+                    internet, policy, slash24, active,
+                    seed, clock_base, max_destinations,
+                )
+                cache.record(slash24, active, measurement, stats)
+                checkpoints += 1
+                if kill_after is not None and checkpoints >= kill_after:
+                    # Fault injection: die the hard way, mid-batch, with
+                    # the lease held — exactly what the reclamation
+                    # machinery must survive.
+                    os.kill(os.getpid(), 9)
+            if completed:
+                ledger.mark_done(claim)
+        ledger.record_exit(
+            worker_id, generation,
+            engine_seconds=internet.probe_seconds - base[0],
+            engine_batches=internet.probe_batches - base[1],
+            engine_batched=internet.batched_probes - base[2],
+            claims=claims, steals=steals, checkpoints=checkpoints,
+        )
 
 
 class _ParallelUnavailable(Exception):
@@ -334,6 +427,69 @@ def _note_parallel_fallback(
     )
 
 
+def _lease_takeover(
+    internet: SimulatedInternet,
+    policy: TerminationPolicy | ReprobePolicy,
+    seed: int,
+    clock_base: float,
+    max_destinations: Optional[int],
+    transport,
+    campaign: str,
+    ledger,
+    generation: int,
+    dead_owners: Set[str],
+) -> Tuple[float, int, int]:
+    """Finish a campaign whose worker processes all died.
+
+    The parent claims the leftover batches itself, through the same
+    lease protocol (so any *other* process working this campaign still
+    coordinates correctly); its own children are certainly dead, so
+    their leases are claimable immediately rather than after the TTL.
+    Engine counters are restored to their pre-takeover values and the
+    deltas returned, because the caller folds all worker engine
+    activity into the parent simulator in one place.
+    """
+    from ..store.campaign import CampaignCache
+
+    transport.refresh()
+    cache = CampaignCache(transport, campaign)
+    worker_id = f"w{os.getpid()}.takeover"
+    base = (
+        internet.probe_count, internet.probe_seconds,
+        internet.probe_batches, internet.batched_probes,
+    )
+    while True:
+        claim, campaign_done = ledger.claim(
+            worker_id, generation, pid=os.getpid(),
+            takeover_owners=dead_owners,
+        )
+        if claim is None:
+            if campaign_done:
+                break
+            time.sleep(_LEASE_POLL_SECONDS)
+            continue
+        for prefix_text, active in claim.slash24s:
+            slash24 = Prefix.parse(prefix_text)
+            if cache.lookup(slash24, active) is not None:
+                continue
+            measurement, stats = _measure_in_context(
+                internet, policy, slash24, active,
+                seed, clock_base, max_destinations,
+            )
+            cache.record(slash24, active, measurement, stats)
+        ledger.mark_done(claim)
+    deltas = (
+        internet.probe_seconds - base[1],
+        internet.probe_batches - base[2],
+        internet.batched_probes - base[3],
+    )
+    internet.probe_count = base[0]
+    internet.probe_seconds = base[1]
+    internet.probe_batches = base[2]
+    internet.batched_probes = base[3]
+    return deltas
+
+
 def _run_shards_parallel(
     internet: SimulatedInternet,
     policy: TerminationPolicy | ReprobePolicy,
@@ -346,17 +502,22 @@ def _run_shards_parallel(
     cache=None,
     progress: Optional[ProgressReporter] = None,
 ) -> Tuple[Dict[Prefix, Slash24Measurement], ProbeStats, MetricsRegistry, Tuple]:
-    """Measure the /24 list on a process pool.
+    """Measure the /24 list with lease-claiming worker processes.
 
-    Completed chunks are checkpointed into ``cache`` (when given) as
-    they arrive, so a killed run preserves everything already merged.
+    The /24s are batched into a lease-ledger plan next to the
+    measurement store (an ephemeral one when the campaign has no store
+    attached); ``workers`` processes claim, measure, checkpoint and
+    renew until every batch is done, stealing lapsed leases from dead
+    or stalled peers along the way. The parent then reconstructs the
+    merged result *from the store records* — bit-identical to serial
+    because each record is the pure function of its /24's context.
 
     Returns the merged (measurements, probe stats, shard metrics,
     engine timing deltas). Raises :class:`_ParallelUnavailable` when
     the simulator or policy cannot ship to workers (unpicklable
-    scenario, pool start failure) — the caller then falls back to the
-    serial path, which produces identical results anyway, and reports
-    the degradation.
+    scenario, process start failure) — the caller then falls back to
+    the serial path, which produces identical results anyway, and
+    reports the degradation.
     """
     try:
         payload = pickle.dumps(
@@ -365,53 +526,191 @@ def _run_shards_parallel(
         )
     except Exception as error:
         raise _ParallelUnavailable("unpicklable", error) from error
-    shard_count = min(workers, len(slash24s))
-    chunk_count = min(len(slash24s), shard_count * _CHUNKS_PER_WORKER)
-    # Interleave assignment: adjacent prefixes have correlated probing
-    # cost (same organization), so striding balances chunk loads.
-    chunks = [
-        [(p, snapshot.active_in(p)) for p in slash24s[index::chunk_count]]
-        for index in range(chunk_count)
-    ]
-    by_prefix: Dict[Prefix, Slash24Measurement] = {}
-    stats = ProbeStats()
-    shard_metrics = MetricsRegistry()
-    engine_seconds = 0.0
-    engine_batches = 0
-    engine_batched = 0
-    try:
-        with ProcessPoolExecutor(
-            max_workers=shard_count,
-            initializer=_init_shard_worker,
-            initargs=(payload,),
-        ) as pool:
-            future_chunks = {
-                pool.submit(_measure_shard, chunk): chunk for chunk in chunks
-            }
-            for future in as_completed(future_chunks):
-                pairs, chunk_metrics, deltas = future.result()
-                chunk = future_chunks[future]
-                for (slash24, active), (measurement, pair_stats) in zip(
-                    chunk, pairs
-                ):
-                    if cache is not None:
-                        cache.record(slash24, active, measurement, pair_stats)
-                    by_prefix[slash24] = measurement
-                    stats.merge(pair_stats)
-                shard_metrics.merge(chunk_metrics)
-                engine_seconds += deltas[0]
-                engine_batches += deltas[1]
-                engine_batched += deltas[2]
-                if progress is not None:
-                    progress.update(len(by_prefix), probes=stats.sent)
-    except (OSError, BrokenProcessPool) as error:
-        raise _ParallelUnavailable("pool_failure", error) from error
-    return (
-        by_prefix,
-        stats,
-        shard_metrics,
-        (engine_seconds, engine_batches, engine_batched),
+    from ..store import MeasurementStore
+    from ..store.codec import KIND_SLASH24, decode_slash24_record
+    from ..store.fingerprint import (
+        campaign_fingerprint,
+        measurement_key,
+        policy_fingerprint,
+        scenario_fingerprint,
     )
+    from ..store.lease import DEFAULT_TTL_SECONDS, LeaseLedger
+
+    transport = getattr(cache, "store", None)
+    campaign = getattr(cache, "campaign", None)
+    store_root = getattr(transport, "root", None)
+    ephemeral_dir = None
+    external_cache = None
+    if store_root is None or campaign is None:
+        # No real store attached (none, or a custom lookup/record
+        # object): coordinate through an ephemeral one. It outlives the
+        # campaign by microseconds, so skip fsync entirely.
+        external_cache = cache
+        ephemeral_dir = tempfile.mkdtemp(prefix="repro-lease-")
+        store_root = ephemeral_dir
+        campaign = campaign_fingerprint(
+            scenario_fingerprint(internet.config),
+            policy_fingerprint(policy),
+            seed, clock_base, max_destinations,
+        )
+        transport = MeasurementStore(store_root, fsync=False)
+        fsync = False
+    else:
+        fsync = getattr(transport, "fsync", True)
+
+    worker_count = min(workers, len(slash24s))
+    batch_count = min(len(slash24s), worker_count * _BATCHES_PER_WORKER)
+    # Interleave assignment: adjacent prefixes have correlated probing
+    # cost (same organization), so striding balances batch loads.
+    batches = [
+        [(str(p), snapshot.active_in(p)) for p in slash24s[index::batch_count]]
+        for index in range(batch_count)
+    ]
+    ttl = float(os.environ.get(_LEASE_TTL_ENV, DEFAULT_TTL_SECONDS))
+    ledger = LeaseLedger(store_root, campaign, ttl=ttl, fsync=fsync)
+    worker_ids = [f"w{os.getpid()}.{index}" for index in range(worker_count)]
+    procs: List[multiprocessing.Process] = []
+    try:
+        with span(
+            "campaign.lease_plan", batches=batch_count, workers=worker_count
+        ):
+            generation = ledger.plan(batches)
+        # fork keeps worker start as cheap as the old process pool's;
+        # the explicit payload round-trip above still guarantees the
+        # campaign *could* ship to a spawned process.
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        try:
+            for index, worker_id in enumerate(worker_ids):
+                proc = context.Process(
+                    target=_lease_worker_main,
+                    args=(
+                        payload, store_root, campaign, generation,
+                        worker_id, index, ttl, fsync,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                procs.append(proc)
+        except OSError as error:
+            raise _ParallelUnavailable("pool_failure", error) from error
+        while any(proc.is_alive() for proc in procs):
+            if progress is not None:
+                state = ledger.state()
+                if state is not None:
+                    progress.update(state.counts()["slash24s_done"])
+            time.sleep(_LEASE_POLL_SECONDS)
+        for proc in procs:
+            proc.join()
+
+        state = ledger.state()
+        takeover_deltas = (0.0, 0, 0)
+        took_over = False
+        if state is None or not state.all_done:
+            # Every worker exited with batches unfinished — the case
+            # the static-chunk executor simply lost. Reclaim and finish
+            # in the parent.
+            took_over = True
+            with span("campaign.lease_takeover"):
+                takeover_deltas = _lease_takeover(
+                    internet, policy, seed, clock_base, max_destinations,
+                    transport, campaign, ledger, generation, set(worker_ids),
+                )
+            state = ledger.state()
+
+        # Reconstruct the merged result from the store: every pending
+        # /24 was checkpointed by whoever measured it.
+        transport.refresh()
+        by_prefix: Dict[Prefix, Slash24Measurement] = {}
+        stats = ProbeStats()
+        shard_metrics = MetricsRegistry()
+        missing: List[Prefix] = []
+        collected: List[Tuple[Prefix, Slash24Measurement, ProbeStats]] = []
+        for slash24 in slash24s:
+            document = transport.get(
+                measurement_key(campaign, slash24, snapshot.active_in(slash24))
+            )
+            if document is None or document.get("kind") != KIND_SLASH24:
+                missing.append(slash24)
+                continue
+            measurement, record_stats = decode_slash24_record(document)
+            collected.append((slash24, measurement, record_stats))
+        if missing:
+            raise _ParallelUnavailable(
+                "incomplete",
+                RuntimeError(
+                    f"{len(missing)} of {len(slash24s)} /24s missing from "
+                    f"the lease-coordinated store (e.g. {missing[0]})"
+                ),
+            )
+        for slash24, measurement, record_stats in collected:
+            by_prefix[slash24] = measurement
+            stats.merge(record_stats)
+            _fold_measurement_metrics(shard_metrics, measurement, record_stats)
+            if external_cache is not None:
+                external_cache.record(
+                    slash24, snapshot.active_in(slash24),
+                    measurement, record_stats,
+                )
+
+        # Engine timing deltas come from the workers' exit records; a
+        # SIGKILLed worker never writes one, so its (diagnostic-only)
+        # timing is lost while its measurements survive via the store.
+        exits = state.exits if state is not None else {}
+        engine_seconds, engine_batches, engine_batched = takeover_deltas
+        lost = 0
+        for worker_id in worker_ids:
+            exit_info = exits.get(worker_id)
+            if exit_info is None:
+                lost += 1
+                continue
+            engine_seconds += float(exit_info.get("engine_seconds", 0.0))
+            engine_batches += int(exit_info.get("engine_batches", 0))
+            engine_batched += int(exit_info.get("engine_batched", 0))
+        counts = state.counts() if state is not None else {}
+        shard_metrics.count(
+            "campaign.parallel.lease.batches", counts.get("batches", 0)
+        )
+        shard_metrics.count(
+            "campaign.parallel.lease.claims", counts.get("claims", 0)
+        )
+        shard_metrics.count(
+            "campaign.parallel.lease.steals", counts.get("steals", 0)
+        )
+        shard_metrics.count(
+            "campaign.parallel.lease.renews", counts.get("renews", 0)
+        )
+        if lost:
+            shard_metrics.count("campaign.parallel.lease.workers_lost", lost)
+            trace_warning(
+                "campaign.lease_worker_lost",
+                f"{lost} of {worker_count} campaign workers died; their "
+                "leases were reclaimed and the campaign completed",
+                workers_lost=lost,
+                takeover=took_over,
+            )
+        if took_over:
+            shard_metrics.count("campaign.parallel.lease.takeover")
+        if progress is not None:
+            progress.update(len(by_prefix), probes=stats.sent)
+        return (
+            by_prefix,
+            stats,
+            shard_metrics,
+            (engine_seconds, engine_batches, engine_batched),
+        )
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+        ledger.close()
+        if ephemeral_dir is not None:
+            transport.close()
+            shutil.rmtree(ephemeral_dir, ignore_errors=True)
 
 
 def _bind_store(

@@ -8,6 +8,7 @@ from .common import (
     Workspace,
     active_profile_name,
     active_store_path,
+    close_workspaces,
     get_workspace,
 )
 from .registry import EXPERIMENTS, experiment_ids, run_experiment
@@ -20,6 +21,7 @@ __all__ = [
     "Workspace",
     "active_profile_name",
     "active_store_path",
+    "close_workspaces",
     "experiment_ids",
     "get_workspace",
     "run_experiment",

@@ -183,6 +183,25 @@ class Workspace:
         ] = None
         self._strict_het: Optional[Dict[Prefix, SubBlockAnalysis]] = None
 
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the workspace's on-disk store handles (idempotent).
+
+        Only file handles close — in-memory artifacts survive, and the
+        ``store`` property reopens lazily if used again. Long-running
+        processes (the CLI, benches) must close workspaces they opened
+        with a persistent store, or segment append handles leak."""
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def __enter__(self) -> "Workspace":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- scenario ---------------------------------------------------------
 
     def scenario_config(self) -> ScenarioConfig:
@@ -638,9 +657,19 @@ def get_workspace(
         if store_path is not None and (
             store_path != _WORKSPACES[name].store_path
         ):
+            _WORKSPACES[name].close()
             _WORKSPACES[name].store_path = store_path
-            _WORKSPACES[name]._store = None
     return _WORKSPACES[name]
+
+
+def close_workspaces() -> None:
+    """Close every cached workspace's store handles (idempotent).
+
+    The CLI calls this on its way out of any command that may have
+    opened a persistent store; tests use it to keep handle-leak checks
+    (ResourceWarning-as-error) honest."""
+    for workspace in _WORKSPACES.values():
+        workspace.close()
 
 
 @dataclass

@@ -32,12 +32,29 @@ from .fingerprint import (
     policy_fingerprint,
     scenario_fingerprint,
 )
+from .lease import (
+    BatchLease,
+    ClaimedLease,
+    LeaseError,
+    LeaseLedger,
+    LeaseState,
+    LedgerState,
+    summarize_ledgers,
+)
+from .locking import FileLock, locking_supported
 from .segment import CorruptRecord
 from .store import MeasurementStore, StoreError, VerifyReport
 
 __all__ = [
+    "BatchLease",
     "CampaignCache",
+    "ClaimedLease",
     "CorruptRecord",
+    "FileLock",
+    "LeaseError",
+    "LeaseLedger",
+    "LeaseState",
+    "LedgerState",
     "KIND_ARTIFACT",
     "KIND_SLASH24",
     "MeasurementStore",
@@ -50,6 +67,7 @@ __all__ = [
     "canonical_dataset_order",
     "confidence_table_fingerprint",
     "decode_slash24_record",
+    "locking_supported",
     "measurement_from_dict",
     "measurement_key",
     "measurement_to_dict",
@@ -60,4 +78,5 @@ __all__ = [
     "route_dataset_to_dict",
     "scenario_fingerprint",
     "slash24_record",
+    "summarize_ledgers",
 ]

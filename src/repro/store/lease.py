@@ -1,0 +1,482 @@
+"""Lease-based work claiming over the measurement store.
+
+The distributed campaign executor shards a campaign's /24 list into
+bounded *batches* and lets worker processes claim them dynamically,
+instead of the static chunk-per-worker split that forfeited a whole
+chunk when its worker died. The coordination substrate is a **lease
+ledger**: one append-only, CRC-framed file per campaign fingerprint
+under ``<store>/leases/``, sharing the segment framing and torn-tail
+discipline of the measurement segments, with every mutation serialized
+by an advisory file lock (see :mod:`.locking`).
+
+The batch state machine follows DDHCP's block claiming (pyddhcpd's
+FREE/TENTATIVE/CLAIMED/OURS with timeouts and reclamation), translated
+from a gossip protocol to a shared journal::
+
+    FREE ──claim──▶ TENTATIVE ──renew──▶ CLAIMED ──done──▶ DONE
+                        │                    │
+                        └──tentative timeout─┴──lease timeout──▶ lapsed
+                                     (claimable again; re-claim = steal)
+
+* A fresh claim is **TENTATIVE** with a short deadline: a worker that
+  dies before checkpointing anything blocks its batch only briefly.
+* The first renewal — sent as the worker checkpoints /24s — promotes
+  the lease to **CLAIMED** with the full TTL, and later renewals extend
+  it. Renewals also re-verify ownership, which is how a stalled worker
+  discovers its lease was stolen and abandons the batch.
+* A lease whose deadline passes has **lapsed**: any worker may re-claim
+  (steal) it. The /24s the dead owner already checkpointed are served
+  from the store, so stolen batches only re-measure the untracked rest.
+* **DONE** is terminal and idempotent; stale owners finishing a stolen
+  batch write records byte-identical to the thief's (per-/24
+  determinism), so the race is harmless by construction.
+
+Because every event is appended (never rewritten), the ledger doubles
+as an audit trail: ``hobbit-repro store leases`` folds it into per-
+campaign claim/steal/renew counts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from . import segment as segmod
+from .codec import frame_record
+from .fingerprint import active_list_fingerprint, digest
+from .locking import FileLock
+
+LEASE_DIR = "leases"
+LEASE_SUFFIX = ".led"
+
+#: Default lease time-to-live. A lease must outlive the slowest
+#: in-batch stretch between two checkpoints (one /24's measurement),
+#: which is milliseconds-to-seconds at our scales; 30 s gives three
+#: orders of magnitude of headroom while still reclaiming a genuinely
+#: dead worker's batch quickly relative to a campaign.
+DEFAULT_TTL_SECONDS = 30.0
+
+
+class LeaseState(Enum):
+    """One batch's place in the claim state machine."""
+
+    FREE = "free"
+    TENTATIVE = "tentative"
+    CLAIMED = "claimed"
+    DONE = "done"
+
+
+class LeaseError(RuntimeError):
+    """The ledger is unusable for this campaign (wrong generation,
+    missing plan, undecodable head)."""
+
+
+@dataclass
+class BatchLease:
+    """Folded state of one batch within the current plan generation."""
+
+    batch: int
+    slash24s: List[Tuple[str, List[int]]]
+    state: LeaseState = LeaseState.FREE
+    owner: Optional[str] = None
+    pid: Optional[int] = None
+    deadline: float = 0.0
+    claims: int = 0
+    steals: int = 0
+    renews: int = 0
+
+    def lapsed(self, now: float) -> bool:
+        return (
+            self.state in (LeaseState.TENTATIVE, LeaseState.CLAIMED)
+            and now > self.deadline
+        )
+
+    def claimable(
+        self, now: float, takeover_owners: Optional[Set[str]] = None
+    ) -> bool:
+        if self.state is LeaseState.FREE:
+            return True
+        if self.state is LeaseState.DONE:
+            return False
+        if self.lapsed(now):
+            return True
+        # A supervisor that *joined* its worker processes knows their
+        # leases are orphaned even before the deadline passes.
+        return takeover_owners is not None and self.owner in takeover_owners
+
+
+@dataclass(frozen=True)
+class ClaimedLease:
+    """What a successful claim hands the worker."""
+
+    generation: int
+    batch: int
+    owner: str
+    deadline: float
+    stolen: bool
+    slash24s: List[Tuple[str, List[int]]]
+
+
+@dataclass
+class LedgerState:
+    """Everything a full ledger fold knows about the newest generation."""
+
+    campaign: str
+    generation: int
+    plan_fingerprint: str
+    batches: Dict[int, BatchLease] = field(default_factory=dict)
+    #: worker id → its exit record attributes (engine deltas etc.).
+    exits: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def all_done(self) -> bool:
+        return bool(self.batches) and all(
+            lease.state is LeaseState.DONE for lease in self.batches.values()
+        )
+
+    def counts(self, now: Optional[float] = None) -> Dict[str, int]:
+        now = time.time() if now is None else now
+        counts = {
+            "batches": len(self.batches),
+            "free": 0, "tentative": 0, "claimed": 0, "done": 0,
+            "lapsed": 0, "claims": 0, "steals": 0, "renews": 0,
+            "slash24s": 0, "slash24s_done": 0,
+        }
+        for lease in self.batches.values():
+            counts[lease.state.value] += 1
+            if lease.lapsed(now):
+                counts["lapsed"] += 1
+            counts["claims"] += lease.claims
+            counts["steals"] += lease.steals
+            counts["renews"] += lease.renews
+            counts["slash24s"] += len(lease.slash24s)
+            if lease.state is LeaseState.DONE:
+                counts["slash24s_done"] += len(lease.slash24s)
+        return counts
+
+
+def plan_fingerprint(batches: Sequence[Sequence[Tuple[str, Sequence[int]]]]) -> str:
+    """Content fingerprint of a batch plan (prefixes and their active
+    lists), so a resumed campaign recognises — and reuses — the plan an
+    earlier run left in the ledger."""
+    parts: List[str] = []
+    for index, batch in enumerate(batches):
+        for prefix_text, active in batch:
+            parts.append(
+                f"{index}:{prefix_text}:{active_list_fingerprint(active):016x}"
+            )
+    return digest("lease-plan::" + "|".join(parts))
+
+
+def ledger_path(store_root: str, campaign: str) -> str:
+    return os.path.join(store_root, LEASE_DIR, campaign + LEASE_SUFFIX)
+
+
+def ledger_paths(store_root: str) -> List[str]:
+    """Every campaign ledger in a store, sorted by name."""
+    directory = os.path.join(store_root, LEASE_DIR)
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(LEASE_SUFFIX)
+    )
+
+
+class LeaseLedger:
+    """One campaign's lease ledger over a store directory.
+
+    Every instance is process-private; cross-process coordination runs
+    entirely through the (locked) file. ``clock`` is injectable for
+    tests; it must be a *shared wall clock* across worker processes
+    (``time.time``), not a per-process monotonic clock.
+    """
+
+    def __init__(
+        self,
+        store_root: str,
+        campaign: str,
+        ttl: float = DEFAULT_TTL_SECONDS,
+        tentative_ttl: Optional[float] = None,
+        fsync: bool = True,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+        self.campaign = campaign
+        self.path = ledger_path(store_root, campaign)
+        self.ttl = ttl
+        #: A claim that never checkpointed anything lapses faster.
+        self.tentative_ttl = (
+            tentative_ttl if tentative_ttl is not None else ttl / 2
+        )
+        self.fsync = fsync
+        self._clock = clock
+        self._lock = FileLock(self.path + ".lock")
+
+    # -- journal primitives (caller holds the exclusive lock) -------------
+
+    def _append(self, document: Mapping[str, Any]) -> None:
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        with open(self.path, "ab") as handle:
+            segmod.append(handle, frame_record(dict(document)), fsync=self.fsync)
+
+    def _records(self, trim: bool) -> List[Dict[str, Any]]:
+        if not os.path.exists(self.path):
+            return []
+        outcome = segmod.scan(self.path)
+        if trim and outcome.has_truncated_tail:
+            # A claimant died mid-append; under the exclusive lock the
+            # partial frame is a true orphan. Trimming loses at most
+            # one claim/renew event — the lease machinery re-derives it.
+            os.truncate(self.path, outcome.tail_offset)
+        return [document for _, document in outcome.records]
+
+    def _fold(self, records: List[Dict[str, Any]]) -> Optional[LedgerState]:
+        state: Optional[LedgerState] = None
+        for record in records:
+            action = record.get("action")
+            if action == "open":
+                state = LedgerState(
+                    campaign=str(record.get("campaign", self.campaign)),
+                    generation=int(record["gen"]),
+                    plan_fingerprint=str(record["plan"]),
+                )
+                continue
+            if state is None or int(record.get("gen", -1)) != state.generation:
+                continue  # stale generation (or pre-plan garbage)
+            if action == "plan":
+                index = int(record["batch"])
+                state.batches[index] = BatchLease(
+                    batch=index,
+                    slash24s=[
+                        (str(prefix), [int(a) for a in active])
+                        for prefix, active in record["slash24s"]
+                    ],
+                )
+            elif action == "claim":
+                lease = state.batches.get(int(record["batch"]))
+                if lease is None or lease.state is LeaseState.DONE:
+                    continue
+                lease.state = LeaseState.TENTATIVE
+                lease.owner = str(record["worker"])
+                lease.pid = int(record.get("pid", 0)) or None
+                lease.deadline = float(record["deadline"])
+                lease.claims += 1
+                if record.get("stolen"):
+                    lease.steals += 1
+            elif action == "renew":
+                lease = state.batches.get(int(record["batch"]))
+                if lease is None or lease.state is LeaseState.DONE:
+                    continue
+                if lease.owner != record.get("worker"):
+                    continue  # stale renewal from a displaced owner
+                lease.state = LeaseState.CLAIMED
+                lease.deadline = float(record["deadline"])
+                lease.renews += 1
+            elif action == "done":
+                lease = state.batches.get(int(record["batch"]))
+                if lease is None:
+                    continue
+                # done is accepted from *any* worker: it is only written
+                # after every /24 of the batch is durably in the store,
+                # and per-/24 determinism makes duplicate completions
+                # byte-identical.
+                lease.state = LeaseState.DONE
+                lease.owner = str(record["worker"])
+                lease.deadline = 0.0
+            elif action == "exit":
+                state.exits[str(record["worker"])] = {
+                    key: value
+                    for key, value in record.items()
+                    if key not in ("action", "gen", "worker")
+                }
+        return state
+
+    # -- planning ---------------------------------------------------------
+
+    def plan(
+        self, batches: Sequence[Sequence[Tuple[str, Sequence[int]]]]
+    ) -> int:
+        """Publish the campaign's batch plan; returns its generation.
+
+        Idempotent on content: if the newest generation in the ledger
+        already carries this exact plan (a resumed run), it is reused —
+        including any DONE/claim state accumulated so far. A different
+        pending set (e.g. a partially warm rerun) starts a fresh
+        generation; older generations become inert history.
+        """
+        fingerprint = plan_fingerprint(batches)
+        with self._lock.exclusive():
+            state = self._fold(self._records(trim=True))
+            if state is not None and state.plan_fingerprint == fingerprint:
+                return state.generation
+            generation = 1 if state is None else state.generation + 1
+            self._append({
+                "kind": "lease", "action": "open", "gen": generation,
+                "campaign": self.campaign, "plan": fingerprint,
+                "batches": len(batches),
+            })
+            for index, batch in enumerate(batches):
+                self._append({
+                    "kind": "lease", "action": "plan", "gen": generation,
+                    "batch": index,
+                    "slash24s": [
+                        [prefix_text, [int(a) for a in active]]
+                        for prefix_text, active in batch
+                    ],
+                })
+            return generation
+
+    # -- the worker protocol ----------------------------------------------
+
+    def claim(
+        self,
+        worker: str,
+        generation: int,
+        pid: Optional[int] = None,
+        takeover_owners: Optional[Set[str]] = None,
+    ) -> Tuple[Optional[ClaimedLease], bool]:
+        """Try to claim one batch; returns ``(claim, campaign_done)``.
+
+        Picks the lowest-indexed FREE batch, else the lowest-indexed
+        lapsed (or supervisor-takeover) one — a steal. ``(None, False)``
+        means every remaining batch is held by a live lease: back off
+        and retry. ``(None, True)`` means the campaign is complete.
+        """
+        now = self._clock()
+        with self._lock.exclusive():
+            state = self._fold(self._records(trim=True))
+            if state is None or state.generation != generation:
+                raise LeaseError(
+                    f"ledger {self.path} has no generation {generation} plan"
+                )
+            chosen: Optional[BatchLease] = None
+            for index in sorted(state.batches):
+                lease = state.batches[index]
+                if lease.state is LeaseState.FREE:
+                    chosen = lease
+                    break
+                if chosen is None and lease.claimable(now, takeover_owners):
+                    chosen = lease
+            if chosen is None:
+                return None, state.all_done
+            stolen = chosen.state is not LeaseState.FREE
+            deadline = now + self.tentative_ttl
+            self._append({
+                "kind": "lease", "action": "claim", "gen": generation,
+                "batch": chosen.batch, "worker": worker,
+                "pid": int(pid or 0), "deadline": deadline,
+                "stolen": stolen,
+            })
+            return (
+                ClaimedLease(
+                    generation=generation,
+                    batch=chosen.batch,
+                    owner=worker,
+                    deadline=deadline,
+                    stolen=stolen,
+                    slash24s=chosen.slash24s,
+                ),
+                False,
+            )
+
+    def renew(self, claim: ClaimedLease) -> bool:
+        """Extend (and on first renewal, confirm) a lease.
+
+        Returns False when the lease was stolen — the worker must stop
+        measuring that batch. Renewals that still have more than half
+        the TTL remaining are elided (ownership is still verified), so
+        checkpoint-driven renewal does not grow the ledger linearly in
+        /24s.
+        """
+        now = self._clock()
+        with self._lock.exclusive():
+            state = self._fold(self._records(trim=True))
+            if state is None or state.generation != claim.generation:
+                return False
+            lease = state.batches.get(claim.batch)
+            if lease is None or lease.owner != claim.owner:
+                return False
+            if lease.state is LeaseState.DONE:
+                return True
+            if (
+                lease.state is LeaseState.CLAIMED
+                and lease.deadline - now > self.ttl / 2
+            ):
+                return True
+            self._append({
+                "kind": "lease", "action": "renew", "gen": claim.generation,
+                "batch": claim.batch, "worker": claim.owner,
+                "deadline": now + self.ttl,
+            })
+            return True
+
+    def mark_done(self, claim: ClaimedLease) -> None:
+        """Record a batch's completion (idempotent)."""
+        with self._lock.exclusive():
+            self._append({
+                "kind": "lease", "action": "done", "gen": claim.generation,
+                "batch": claim.batch, "worker": claim.owner,
+            })
+
+    def record_exit(self, worker: str, generation: int, **attrs: Any) -> None:
+        """A worker's parting summary (engine deltas, loop counters)."""
+        with self._lock.exclusive():
+            self._append({
+                "kind": "lease", "action": "exit", "gen": generation,
+                "worker": worker, **attrs,
+            })
+
+    # -- inspection --------------------------------------------------------
+
+    def state(self) -> Optional[LedgerState]:
+        """Fold the ledger read-only (no tail trimming) — the parent's
+        polling loop and the CLI go through this."""
+        with self._lock.shared():
+            return self._fold(self._records(trim=False))
+
+    def close(self) -> None:
+        self._lock.close()
+
+    def __enter__(self) -> "LeaseLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def summarize_ledgers(store_root: str) -> List[Dict[str, Any]]:
+    """Per-campaign lease summaries for ``store leases``."""
+    summaries: List[Dict[str, Any]] = []
+    for path in ledger_paths(store_root):
+        campaign = os.path.basename(path)[: -len(LEASE_SUFFIX)]
+        ledger = LeaseLedger(store_root, campaign)
+        try:
+            state = ledger.state()
+        finally:
+            ledger.close()
+        if state is None:
+            continue
+        counts = state.counts()
+        summaries.append({
+            "campaign": campaign,
+            "generation": state.generation,
+            "workers": len(state.exits),
+            **counts,
+        })
+    return summaries

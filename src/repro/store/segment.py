@@ -49,14 +49,21 @@ class ScanOutcome:
         return self.tail_offset < self.size
 
 
-def scan(path: str) -> ScanOutcome:
-    """Scan every record of one segment file."""
+def scan(path: str, start: int = 0) -> ScanOutcome:
+    """Scan every record of one segment file from offset ``start``.
+
+    ``start`` must be a frame boundary (0, or a ``tail_offset`` from an
+    earlier scan) — incremental re-scans after another process appended
+    records resume from the last known-good boundary instead of paying
+    for the whole file again.
+    """
     records: List[Tuple[int, Dict[str, Any]]] = []
     corrupt: List[CorruptRecord] = []
     size = os.path.getsize(path)
-    tail_offset = 0
+    tail_offset = start
     with open(path, "rb") as handle:
-        offset = 0
+        handle.seek(start)
+        offset = start
         while True:
             header = handle.read(HEADER_SIZE)
             if len(header) < HEADER_SIZE:
@@ -100,6 +107,36 @@ def recover(path: str, outcome: Optional[ScanOutcome] = None) -> ScanOutcome:
             os.fsync(handle.fileno())
         outcome.size = outcome.tail_offset
     return outcome
+
+
+def validated_tail(path: str, start: int = 0) -> Tuple[int, int]:
+    """Walk frame boundaries from ``start`` without decoding payloads.
+
+    Returns ``(valid_end, size)``: every frame in ``[start, valid_end)``
+    is structurally complete (magic + length + full payload present —
+    checksums are *not* verified here), and any bytes in ``[valid_end,
+    size)`` are a torn tail left by a writer that died mid-append.
+    Callers about to append must truncate that tail first, or their
+    record lands beyond garbage where no scanner will ever reach it.
+    """
+    size = os.path.getsize(path)
+    offset = start
+    with open(path, "rb") as handle:
+        handle.seek(start)
+        while True:
+            header = handle.read(HEADER_SIZE)
+            if len(header) < HEADER_SIZE:
+                break
+            try:
+                length, _ = parse_header(header)
+            except RecordCorrupt:
+                break
+            end = offset + HEADER_SIZE + length
+            if end > size:
+                break
+            offset = end
+            handle.seek(offset)
+    return offset, size
 
 
 def append(handle: IO[bytes], frame: bytes, fsync: bool = True) -> int:

@@ -16,13 +16,19 @@ and an in-memory key index of intact records is built. Appends fsync
 per record, so a /24 checkpointed by a campaign survives any subsequent
 crash.
 
-The store is a single-writer design (one process appends at a time);
-readers of a quiescent store are always safe because records are
-immutable once written.
+The store is safe for *multiple concurrent writer processes*: every
+append (and the open-time tail recovery, and gc compaction) runs under
+an advisory ``flock`` on a sidecar lock file (see :mod:`.locking`), so
+frames from different processes never interleave and a torn tail left
+by a SIGKILLed writer is trimmed by the next appender before its record
+goes down. Readers catch up on records appended by other processes with
+:meth:`MeasurementStore.refresh`, an incremental re-scan from the last
+known frame boundary.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from dataclasses import dataclass, field
@@ -37,12 +43,14 @@ from .codec import (
     KIND_SLASH24,
     frame_record,
 )
+from .locking import FileLock
 from .segment import CorruptRecord
 
 FORMAT_VERSION = 1
 DEFAULT_SHARDS = 16
 META_FILE = "store.json"
 SEGMENT_DIR = "segments"
+LOCK_FILE = "store.lock"
 
 
 @dataclass
@@ -65,9 +73,17 @@ class StoreError(RuntimeError):
 class MeasurementStore:
     """Append-only, sharded, checksummed key → record store."""
 
-    def __init__(self, root: str, shards: int = DEFAULT_SHARDS) -> None:
+    def __init__(
+        self, root: str, shards: int = DEFAULT_SHARDS, fsync: bool = True
+    ) -> None:
         self.root = os.path.abspath(root)
         self.segment_dir = os.path.join(self.root, SEGMENT_DIR)
+        #: Whether appends fsync per record. True for durable stores;
+        #: the lease executor's *ephemeral* coordination stores disable
+        #: it (flush still happens per record, so a SIGKILLed worker
+        #: loses nothing — only an OS crash could, and an ephemeral
+        #: store does not outlive the run anyway).
+        self.fsync = fsync
         self._append_handles: Dict[int, IO[bytes]] = {}
         #: key → (shard index, decoded document). Records are small at
         #: our scenario scales, so the index keeps documents in memory;
@@ -79,8 +95,20 @@ class MeasurementStore:
         #: Duplicate keys seen while scanning (later record wins); gc
         #: compaction drops the superseded ones.
         self.superseded = 0
+        #: Per-shard frame boundary up to which this process has decoded
+        #: records into its index; refresh() scans forward from here.
+        self._indexed_offsets: Dict[int, int] = {}
+        #: Per-shard frame boundary this process has structurally
+        #: validated; the append path walks forward from here to find
+        #: (and trim) torn tails left by writers that died mid-append.
+        self._valid_offsets: Dict[int, int] = {}
+        #: Inter-process append/recovery lock (kernel-released on death).
+        self._lock = FileLock(os.path.join(self.root, LOCK_FILE))
         self.shards = self._init_layout(shards)
-        self._load()
+        # Open-time recovery truncates torn tails, which must never race
+        # a live writer mid-append in another process.
+        with self._lock.exclusive():
+            self._load()
 
     # -- lifecycle --------------------------------------------------------
 
@@ -129,6 +157,8 @@ class MeasurementStore:
             if not os.path.exists(path):
                 continue
             outcome = segmod.recover(path)
+            self._indexed_offsets[shard] = outcome.tail_offset
+            self._valid_offsets[shard] = outcome.tail_offset
             self.corrupt_records.extend(outcome.corrupt)
             for offset, document in outcome.records:
                 key = document.get("key")
@@ -158,16 +188,35 @@ class MeasurementStore:
             superseded=self.superseded,
         )
 
-    def close(self) -> None:
+    def _close_append_handles(self) -> None:
         for handle in self._append_handles.values():
             handle.close()
         self._append_handles.clear()
+
+    def close(self) -> None:
+        """Release every file handle (segment writers and the lock).
+
+        Long-running workers hold one append handle per touched shard;
+        fd exhaustion is fatal for them, so owners must close stores
+        deterministically — the suite promotes ``ResourceWarning`` to an
+        error to keep it that way. A closed store can keep serving reads
+        from its in-memory index; the next ``put`` reopens handles.
+        """
+        self._close_append_handles()
+        self._lock.close()
 
     def __enter__(self) -> "MeasurementStore":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def __del__(self) -> None:
+        # Deterministic close() is the contract; this is a last-resort
+        # guard so an owner bug degrades to an fd held slightly longer,
+        # not to an interpreter-shutdown ResourceWarning race.
+        with contextlib.suppress(Exception):
+            self.close()
 
     # -- reads ------------------------------------------------------------
 
@@ -191,19 +240,94 @@ class MeasurementStore:
     # -- writes -----------------------------------------------------------
 
     def put(self, document: Dict[str, Any]) -> None:
-        """Durably append one record (document must carry a ``key``)."""
+        """Durably append one record (document must carry a ``key``).
+
+        Appends serialize across processes on the store's advisory
+        lock. Before writing, the frame boundary is re-walked from this
+        process's last validated offset: frames appended by *other*
+        processes since then are stepped over, and a torn tail left by
+        a writer killed mid-append is truncated — otherwise our record
+        would land beyond garbage where no scanner could reach it.
+        """
         key = document["key"]
         shard = self._shard_of(key)
-        handle = self._append_handles.get(shard)
-        if handle is None:
-            handle = open(self._segment_path(shard), "ab")
-            self._append_handles[shard] = handle
-        segmod.append(handle, frame_record(document))
+        frame = frame_record(document)
+        with self._lock.exclusive():
+            handle = self._append_handles.get(shard)
+            if handle is None:
+                handle = open(self._segment_path(shard), "ab")
+                self._append_handles[shard] = handle
+            valid_end = self._reclaim_tail(shard, handle)
+            segmod.append(handle, frame, fsync=self.fsync)
+            self._valid_offsets[shard] = valid_end + len(frame)
         if key in self._index:
             self.superseded += 1
         self._index[key] = (shard, document)
         kind = str(document.get("kind", "?"))
         self.appended[kind] = self.appended.get(kind, 0) + 1
+
+    def _reclaim_tail(self, shard: int, handle: IO[bytes]) -> int:
+        """Validate (and if torn, trim) the segment tail; returns the
+        end-of-file offset a fresh append will land at. Caller holds
+        the exclusive lock."""
+        path = self._segment_path(shard)
+        valid_end, size = segmod.validated_tail(
+            path, self._valid_offsets.get(shard, 0)
+        )
+        if valid_end < size:
+            # A writer died mid-append; under the exclusive lock no one
+            # is mid-write now, so the partial frame is a true orphan.
+            os.truncate(path, valid_end)
+            handle.seek(0, os.SEEK_END)
+            trace_warning(
+                "store.torn_tail_trimmed",
+                f"trimmed {size - valid_end} torn bytes from {path} "
+                "(writer died mid-append; its record will be rewritten)",
+                segment=path,
+                trimmed=size - valid_end,
+            )
+        return valid_end
+
+    def refresh(self) -> int:
+        """Fold records appended by *other processes* into the index.
+
+        Scans each segment forward from the last indexed frame boundary
+        under the shared lock (so a concurrent append is either fully
+        visible or not started — never half-read). Returns the number of
+        records newly indexed. Records this process wrote itself decode
+        identically and are skipped without counting as superseded.
+        """
+        added = 0
+        with self._lock.shared():
+            for shard in range(self.shards):
+                path = self._segment_path(shard)
+                if not os.path.exists(path):
+                    continue
+                start = self._indexed_offsets.get(shard, 0)
+                if os.path.getsize(path) <= start:
+                    continue
+                outcome = segmod.scan(path, start=start)
+                for offset, document in outcome.records:
+                    key = document.get("key")
+                    if not isinstance(key, str):
+                        self.corrupt_records.append(
+                            CorruptRecord(path, offset, "record missing key")
+                        )
+                        continue
+                    current = self._index.get(key)
+                    if current is not None and current[1] == document:
+                        continue
+                    if current is not None:
+                        self.superseded += 1
+                    self._index[key] = (shard, document)
+                    added += 1
+                self._indexed_offsets[shard] = outcome.tail_offset
+                self._valid_offsets[shard] = max(
+                    self._valid_offsets.get(shard, 0), outcome.tail_offset
+                )
+        if added:
+            trace_event("store.refreshed", path=self.root, records=added)
+        return added
 
     # -- maintenance ------------------------------------------------------
 
@@ -237,11 +361,11 @@ class MeasurementStore:
         swapped in, so a crash mid-compaction leaves either the old or
         the new segment, never a mix.
         """
-        with span("store.gc", path=self.root):
+        with span("store.gc", path=self.root), self._lock.exclusive():
             return self._gc()
 
     def _gc(self) -> Dict[str, int]:
-        self.close()
+        self._close_append_handles()
         dropped_corrupt = 0
         dropped_superseded = 0
         for shard in range(self.shards):
@@ -273,6 +397,8 @@ class MeasurementStore:
         self.superseded = 0
         # Rebuild the index from the compacted files.
         self._index.clear()
+        self._indexed_offsets.clear()
+        self._valid_offsets.clear()
         self._load()
         trace_event(
             "store.gc_done",

@@ -1,0 +1,263 @@
+"""Crash consistency of the lease-based distributed executor.
+
+The contract under attack: a ``workers=N`` campaign in which a worker
+is SIGKILLed *mid-batch* (lease held, some /24s checkpointed, some not)
+must still complete — surviving workers re-claim the lapsed lease — and
+the result must be bit-identical to the serial run: measurements, their
+insertion order, probe accounting, store records, and the simulator's
+end-of-campaign clock.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core import TerminationPolicy, run_campaign
+from repro.netsim import SimulatedInternet, tiny_scenario
+from repro.obs.metrics import MetricsRegistry
+from repro.probing import scan
+from repro.store import CampaignCache, MeasurementStore
+from repro.store.lease import LeaseLedger
+
+SEED = 5
+MAX_DESTINATIONS = 48
+#: Short enough that a killed worker's lease is reclaimed in test time,
+#: long enough that a *live* worker can never lapse by accident.
+TEST_TTL = "2.0"
+
+
+def _fresh_internet():
+    internet = SimulatedInternet.from_config(tiny_scenario(seed=11))
+    snapshot = scan(internet)
+    return internet, snapshot
+
+
+def _run(internet, snapshot, slash24s, workers=1, store=None, registry=None):
+    return run_campaign(
+        internet,
+        TerminationPolicy(),
+        slash24s=slash24s,
+        snapshot=snapshot,
+        seed=SEED,
+        max_destinations_per_slash24=MAX_DESTINATIONS,
+        workers=workers,
+        store=store,
+        metrics=registry,
+    )
+
+
+@pytest.fixture(scope="module")
+def selection():
+    internet, snapshot = _fresh_internet()
+    return snapshot.eligible_slash24s()[:24]
+
+
+@pytest.fixture(scope="module")
+def serial_state(selection):
+    """(result, clock, probe_count) of the uninterrupted serial run."""
+    internet, snapshot = _fresh_internet()
+    result = _run(internet, snapshot, selection)
+    return result, internet.clock_seconds, internet.probe_count
+
+
+def _bound_cache(store, internet, clock_base):
+    return CampaignCache.bind(
+        store, internet, TerminationPolicy(), SEED, clock_base,
+        MAX_DESTINATIONS,
+    )
+
+
+class TestWorkerDeathRecovery:
+    def test_killed_worker_mid_batch_bit_identical(
+        self, selection, serial_state, tmp_path, monkeypatch
+    ):
+        """Kill worker 0 after its first checkpoint: its lease lapses
+        mid-batch, a surviving worker steals it, and everything the
+        serial run would have produced is reproduced exactly."""
+        serial_result, serial_clock, serial_probes = serial_state
+        monkeypatch.setenv("REPRO_LEASE_TTL", TEST_TTL)
+        monkeypatch.setenv("REPRO_LEASE_KILL", "0:1")
+        internet, snapshot = _fresh_internet()
+        registry = MetricsRegistry()
+        with MeasurementStore(str(tmp_path / "store")) as store:
+            result = _run(
+                internet, snapshot, selection,
+                workers=3, store=store, registry=registry,
+            )
+        assert result.measurements == serial_result.measurements
+        assert list(result.measurements) == list(serial_result.measurements)
+        assert result.probes_used == serial_result.probes_used
+        assert internet.clock_seconds == serial_clock
+        assert internet.probe_count == serial_probes
+        # The death was not silent: the worker is reported lost, and
+        # its lease was re-claimed by someone.
+        assert registry.counter_value(
+            "campaign.parallel.lease.workers_lost"
+        ) == 1
+        claims = registry.counter_value("campaign.parallel.lease.claims")
+        batches = registry.counter_value("campaign.parallel.lease.batches")
+        assert claims > batches  # at least one batch was claimed twice
+
+    def test_lease_lapse_recorded_in_ledger(
+        self, selection, tmp_path, monkeypatch
+    ):
+        """The ledger itself shows the steal (or parent takeover): the
+        killed worker's batch ends DONE under a different owner."""
+        monkeypatch.setenv("REPRO_LEASE_TTL", TEST_TTL)
+        monkeypatch.setenv("REPRO_LEASE_KILL", "0:1")
+        internet, snapshot = _fresh_internet()
+        clock_base = internet.clock_seconds
+        with MeasurementStore(str(tmp_path / "store")) as store:
+            _run(internet, snapshot, selection, workers=3, store=store)
+            cache = _bound_cache(store, internet, clock_base)
+            with LeaseLedger(store.root, cache.campaign) as ledger:
+                state = ledger.state()
+        assert state is not None
+        assert state.all_done
+        counts = state.counts()
+        assert counts["steals"] >= 1
+        assert counts["slash24s_done"] == len(selection)
+
+    def test_store_records_bit_identical_to_serial(
+        self, selection, tmp_path, monkeypatch
+    ):
+        """Byte-for-byte: the record documents a kill-recovery campaign
+        leaves in its store equal the serial campaign's."""
+        serial_internet, serial_snapshot = _fresh_internet()
+        serial_clock_base = serial_internet.clock_seconds
+        with MeasurementStore(str(tmp_path / "serial")) as serial_store:
+            _run(serial_internet, serial_snapshot, selection,
+                 store=serial_store)
+            serial_cache = _bound_cache(
+                serial_store, serial_internet, serial_clock_base
+            )
+            serial_docs = {
+                str(slash24): serial_store.get(
+                    serial_cache.key_for(
+                        slash24, serial_snapshot.active_in(slash24)
+                    )
+                )
+                for slash24 in selection
+            }
+
+        monkeypatch.setenv("REPRO_LEASE_TTL", TEST_TTL)
+        monkeypatch.setenv("REPRO_LEASE_KILL", "0:1")
+        internet, snapshot = _fresh_internet()
+        clock_base = internet.clock_seconds
+        with MeasurementStore(str(tmp_path / "killed")) as store:
+            _run(internet, snapshot, selection, workers=3, store=store)
+            cache = _bound_cache(store, internet, clock_base)
+            docs = {
+                str(slash24): store.get(
+                    cache.key_for(slash24, snapshot.active_in(slash24))
+                )
+                for slash24 in selection
+            }
+        assert docs == serial_docs
+
+    def test_all_workers_dead_parent_takes_over(
+        self, selection, serial_state, tmp_path, monkeypatch
+    ):
+        """Every worker dies: nobody is left to steal, so the parent
+        reclaims the leftovers itself and the campaign still completes,
+        bit-identical."""
+        serial_result, serial_clock, serial_probes = serial_state
+        monkeypatch.setenv("REPRO_LEASE_TTL", TEST_TTL)
+        monkeypatch.setenv("REPRO_LEASE_KILL", "0:1,1:1")
+        internet, snapshot = _fresh_internet()
+        registry = MetricsRegistry()
+        with MeasurementStore(str(tmp_path / "store")) as store:
+            result = _run(
+                internet, snapshot, selection,
+                workers=2, store=store, registry=registry,
+            )
+        assert registry.counter_value("campaign.parallel.lease.takeover") == 1
+        assert registry.counter_value(
+            "campaign.parallel.lease.workers_lost"
+        ) == 2
+        assert result.measurements == serial_result.measurements
+        assert result.probes_used == serial_result.probes_used
+        assert internet.clock_seconds == serial_clock
+        assert internet.probe_count == serial_probes
+
+    def test_sole_survivor_finishes_everything(
+        self, selection, serial_state, monkeypatch
+    ):
+        """workers=2 where worker 0 dies immediately — and no store is
+        attached, so recovery runs over the ephemeral coordination
+        store: worker 1 finishes the whole campaign via steals."""
+        serial_result, serial_clock, serial_probes = serial_state
+        monkeypatch.setenv("REPRO_LEASE_TTL", TEST_TTL)
+        monkeypatch.setenv("REPRO_LEASE_KILL", "0:1")
+        internet, snapshot = _fresh_internet()
+        result = _run(internet, snapshot, selection, workers=2)
+        assert result.measurements == serial_result.measurements
+        assert result.probes_used == serial_result.probes_used
+        assert internet.clock_seconds == serial_clock
+        assert internet.probe_count == serial_probes
+
+
+class TestResumability:
+    def test_second_run_replays_from_store(
+        self, selection, serial_state, tmp_path, monkeypatch
+    ):
+        """A campaign resumed over the store a killed run left behind
+        replays every stored /24 and re-measures nothing."""
+        serial_result, _, _ = serial_state
+        monkeypatch.setenv("REPRO_LEASE_TTL", TEST_TTL)
+        monkeypatch.setenv("REPRO_LEASE_KILL", "0:1")
+        with MeasurementStore(str(tmp_path / "store")) as store:
+            internet, snapshot = _fresh_internet()
+            _run(internet, snapshot, selection, workers=3, store=store)
+        monkeypatch.delenv("REPRO_LEASE_KILL")
+        with MeasurementStore(str(tmp_path / "store")) as store:
+            internet, snapshot = _fresh_internet()
+            base_probes = internet.probe_count
+            warm = _run(
+                internet, snapshot, selection, workers=3, store=store
+            )
+            assert internet.probe_count == base_probes  # pure replay
+        assert warm.measurements == serial_result.measurements
+
+
+def _concurrent_appender(root, start, count):
+    """Child-process body for the two-writer locking test."""
+    from repro.store import MeasurementStore, artifact_record
+
+    with MeasurementStore(root, fsync=False) as store:
+        for index in range(start, start + count):
+            store.put(artifact_record(f"sc::k{index}", index))
+
+
+class TestConcurrentStoreWriters:
+    def test_two_processes_appending_same_store(self, tmp_path):
+        """Two unrelated processes appending to the same store must not
+        interleave frames: advisory locking serializes every append, so
+        afterwards the store verifies clean and holds every record."""
+        root = str(tmp_path / "shared")
+        MeasurementStore(root).close()  # create layout up front
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        writers = [
+            context.Process(
+                target=_concurrent_appender, args=(root, base, 50)
+            )
+            for base in (0, 50)
+        ]
+        for proc in writers:
+            proc.start()
+        for proc in writers:
+            proc.join()
+        assert all(proc.exitcode == 0 for proc in writers)
+        with MeasurementStore(root) as store:
+            report = store.verify()
+            assert report.clean
+            assert len(store) == 100
+            for index in range(100):
+                document = store.get(f"sc::k{index}")
+                assert document is not None
+                assert document["value"] == index

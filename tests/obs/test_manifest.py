@@ -81,7 +81,8 @@ class TestWriting:
         path = str(tmp_path / "run.json")
         document = build_manifest(command="run", registry=_registry())
         assert write_run_manifest(path, document) == path
-        loaded = json.loads(open(path, encoding="utf-8").read())
+        with open(path, encoding="utf-8") as handle:
+            loaded = json.load(handle)
         assert loaded["command"] == "run"
         # atomic_writer leaves no temp files behind
         assert os.listdir(tmp_path) == ["run.json"]

@@ -1,0 +1,286 @@
+"""Lease-ledger state machine tests (fake clock, no processes).
+
+The DDHCP-shaped lifecycle under test::
+
+    FREE → TENTATIVE → CLAIMED → DONE
+             │             │
+             └── lapse ────┴──→ claimable again (steal)
+"""
+
+import pytest
+
+from repro.store.lease import (
+    DEFAULT_TTL_SECONDS,
+    LeaseError,
+    LeaseLedger,
+    LeaseState,
+    ledger_path,
+    plan_fingerprint,
+    summarize_ledgers,
+)
+
+CAMPAIGN = "cafe" * 8
+
+PLAN = [
+    [("10.0.0.0/24", [1, 7]), ("10.0.1.0/24", [3])],
+    [("10.0.2.0/24", [2])],
+    [("10.0.3.0/24", [9, 11, 12])],
+]
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def ledger(tmp_path, clock):
+    with LeaseLedger(
+        str(tmp_path), CAMPAIGN, ttl=10.0, fsync=False, clock=clock
+    ) as instance:
+        yield instance
+
+
+class TestPlanning:
+    def test_first_plan_is_generation_one(self, ledger):
+        assert ledger.plan(PLAN) == 1
+
+    def test_same_plan_is_idempotent(self, ledger):
+        assert ledger.plan(PLAN) == 1
+        assert ledger.plan(PLAN) == 1  # a resumed run reuses the plan
+
+    def test_resume_keeps_done_state(self, ledger):
+        generation = ledger.plan(PLAN)
+        claim, _ = ledger.claim("w1", generation)
+        ledger.mark_done(claim)
+        assert ledger.plan(PLAN) == generation
+        state = ledger.state()
+        assert state.batches[claim.batch].state is LeaseState.DONE
+
+    def test_different_plan_starts_new_generation(self, ledger):
+        assert ledger.plan(PLAN) == 1
+        assert ledger.plan(PLAN[:2]) == 2
+        state = ledger.state()
+        assert state.generation == 2
+        assert len(state.batches) == 2
+
+    def test_old_generation_claims_rejected(self, ledger):
+        ledger.plan(PLAN)
+        ledger.plan(PLAN[:2])
+        with pytest.raises(LeaseError):
+            ledger.claim("w1", 1)
+
+    def test_plan_fingerprint_covers_active_lists(self):
+        changed = [[("10.0.0.0/24", [1, 8]), ("10.0.1.0/24", [3])]] + PLAN[1:]
+        assert plan_fingerprint(PLAN) != plan_fingerprint(changed)
+
+    def test_ttl_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            LeaseLedger(str(tmp_path), CAMPAIGN, ttl=0.0)
+
+
+class TestClaiming:
+    def test_claim_takes_lowest_free_batch(self, ledger):
+        generation = ledger.plan(PLAN)
+        claim, done = ledger.claim("w1", generation)
+        assert not done
+        assert claim.batch == 0
+        assert claim.slash24s == PLAN[0]
+        assert not claim.stolen
+        second, _ = ledger.claim("w2", generation)
+        assert second.batch == 1
+
+    def test_fresh_claim_is_tentative(self, ledger, clock):
+        generation = ledger.plan(PLAN)
+        claim, _ = ledger.claim("w1", generation)
+        state = ledger.state()
+        lease = state.batches[claim.batch]
+        assert lease.state is LeaseState.TENTATIVE
+        assert lease.owner == "w1"
+        assert lease.deadline == clock.now + ledger.tentative_ttl
+
+    def test_all_leased_means_back_off(self, ledger):
+        generation = ledger.plan(PLAN)
+        for index in range(len(PLAN)):
+            ledger.claim(f"w{index}", generation)
+        claim, done = ledger.claim("late", generation)
+        assert claim is None
+        assert not done  # not finished — just nothing claimable yet
+
+    def test_campaign_done_signalled(self, ledger):
+        generation = ledger.plan(PLAN)
+        for _ in PLAN:
+            claim, _ = ledger.claim("w1", generation)
+            ledger.mark_done(claim)
+        claim, done = ledger.claim("w1", generation)
+        assert claim is None
+        assert done
+
+
+class TestRenewal:
+    def test_first_renew_promotes_to_claimed(self, ledger, clock):
+        generation = ledger.plan(PLAN)
+        claim, _ = ledger.claim("w1", generation)
+        assert ledger.renew(claim)
+        lease = ledger.state().batches[claim.batch]
+        assert lease.state is LeaseState.CLAIMED
+        assert lease.deadline == clock.now + ledger.ttl
+
+    def test_fresh_renewals_elided(self, ledger):
+        generation = ledger.plan(PLAN)
+        claim, _ = ledger.claim("w1", generation)
+        for _ in range(5):
+            assert ledger.renew(claim)
+        # one promotion; the rest only verified ownership
+        assert ledger.state().batches[claim.batch].renews == 1
+
+    def test_renewal_extends_near_expiry(self, ledger, clock):
+        generation = ledger.plan(PLAN)
+        claim, _ = ledger.claim("w1", generation)
+        assert ledger.renew(claim)
+        clock.advance(ledger.ttl * 0.75)
+        assert ledger.renew(claim)
+        lease = ledger.state().batches[claim.batch]
+        assert lease.renews == 2
+        assert lease.deadline == clock.now + ledger.ttl
+
+    def test_renew_after_steal_fails(self, ledger, clock):
+        generation = ledger.plan(PLAN)
+        original, _ = ledger.claim("w1", generation)
+        ledger.claim("wb", generation)
+        ledger.claim("wc", generation)  # no FREE batches remain
+        clock.advance(ledger.tentative_ttl + 1)
+        thief, _ = ledger.claim("w2", generation)
+        assert thief.batch == original.batch
+        assert not ledger.renew(original)  # displaced owner must stop
+        assert ledger.renew(thief)
+
+
+class TestLapseAndSteal:
+    def test_tentative_lapses_quickly(self, ledger, clock):
+        generation = ledger.plan(PLAN)
+        ledger.claim("w1", generation)
+        for _ in range(2):  # occupy the remaining FREE batches
+            done, _ = ledger.claim("w2", generation)
+            ledger.mark_done(done)
+        clock.advance(ledger.tentative_ttl + 0.1)
+        claim, _ = ledger.claim("w2", generation)
+        assert claim.batch == 0
+        assert claim.stolen
+        assert ledger.state().batches[0].steals == 1
+
+    def test_claimed_survives_tentative_window(self, ledger, clock):
+        generation = ledger.plan(PLAN)
+        claim, _ = ledger.claim("w1", generation)
+        ledger.renew(claim)  # promoted: full TTL now applies
+        clock.advance(ledger.tentative_ttl + 0.1)
+        other, _ = ledger.claim("w2", generation)
+        assert other.batch == 1  # batch 0 still held
+
+    def test_free_batches_preferred_over_lapsed(self, ledger, clock):
+        generation = ledger.plan(PLAN)
+        ledger.claim("w1", generation)
+        clock.advance(ledger.tentative_ttl + 1)
+        claim, _ = ledger.claim("w2", generation)
+        # batch 0 lapsed, but batch 1 is FREE — take the free one first
+        assert claim.batch == 1
+        assert not claim.stolen
+
+    def test_takeover_owners_claimable_before_lapse(self, ledger):
+        generation = ledger.plan(PLAN)
+        ledger.claim("w1", generation)
+        ledger.claim("w2", generation)
+        ledger.claim("w3", generation)  # no FREE batches remain
+        blocked, _ = ledger.claim("parent", generation)
+        assert blocked is None  # every lease is still live
+        claim, _ = ledger.claim(
+            "parent", generation, takeover_owners={"w1"}
+        )
+        assert claim.batch == 0  # w1 known-dead: no need to wait
+
+    def test_done_is_terminal(self, ledger, clock):
+        generation = ledger.plan(PLAN)
+        claim, _ = ledger.claim("w1", generation)
+        ledger.mark_done(claim)
+        clock.advance(ledger.ttl * 10)
+        other, _ = ledger.claim("w2", generation)
+        assert other.batch != claim.batch
+
+    def test_done_accepted_from_stale_owner(self, ledger, clock):
+        """A displaced owner finishing 'its' batch is harmless — its
+        records are byte-identical to the thief's."""
+        generation = ledger.plan(PLAN)
+        original, _ = ledger.claim("w1", generation)
+        clock.advance(ledger.tentative_ttl + 1)
+        ledger.claim("w2", generation)
+        ledger.mark_done(original)
+        assert ledger.state().batches[0].state is LeaseState.DONE
+
+
+class TestDurability:
+    def test_torn_tail_trimmed_on_next_claim(self, tmp_path, clock):
+        with LeaseLedger(
+            str(tmp_path), CAMPAIGN, ttl=10.0, fsync=False, clock=clock
+        ) as ledger:
+            generation = ledger.plan(PLAN)
+            path = ledger_path(str(tmp_path), CAMPAIGN)
+            with open(path, "ab") as handle:
+                handle.write(b"HBS1\x00\x00\x00\x99partial")  # killed mid-append
+            claim, _ = ledger.claim("w1", generation)
+            assert claim.batch == 0
+            state = ledger.state()
+            assert state.batches[0].owner == "w1"
+
+    def test_exit_records_folded(self, ledger):
+        generation = ledger.plan(PLAN)
+        ledger.record_exit(
+            "w1", generation, engine_seconds=1.5, checkpoints=4
+        )
+        state = ledger.state()
+        assert state.exits["w1"]["engine_seconds"] == 1.5
+        assert state.exits["w1"]["checkpoints"] == 4
+
+    def test_reopened_ledger_sees_everything(self, tmp_path, clock):
+        with LeaseLedger(
+            str(tmp_path), CAMPAIGN, ttl=10.0, fsync=False, clock=clock
+        ) as ledger:
+            generation = ledger.plan(PLAN)
+            claim, _ = ledger.claim("w1", generation)
+            ledger.mark_done(claim)
+        with LeaseLedger(
+            str(tmp_path), CAMPAIGN, ttl=10.0, fsync=False, clock=clock
+        ) as reopened:
+            state = reopened.state()
+            assert state.generation == generation
+            assert state.batches[0].state is LeaseState.DONE
+
+    def test_summarize_ledgers(self, tmp_path, clock):
+        with LeaseLedger(
+            str(tmp_path), CAMPAIGN, ttl=10.0, fsync=False, clock=clock
+        ) as ledger:
+            generation = ledger.plan(PLAN)
+            claim, _ = ledger.claim("w1", generation)
+            ledger.mark_done(claim)
+        (summary,) = summarize_ledgers(str(tmp_path))
+        assert summary["campaign"] == CAMPAIGN
+        assert summary["batches"] == len(PLAN)
+        assert summary["done"] == 1
+        assert summary["slash24s"] == sum(len(batch) for batch in PLAN)
+        assert summary["slash24s_done"] == len(PLAN[0])
+
+    def test_empty_store_has_no_ledgers(self, tmp_path):
+        assert summarize_ledgers(str(tmp_path)) == []
+
+    def test_default_ttl_is_sane(self):
+        assert 0 < DEFAULT_TTL_SECONDS <= 120
