@@ -1,0 +1,217 @@
+"""CI smoke: the daemon must reproduce the one-shot CLI bit for bit.
+
+Flow:
+
+1. run one campaign via the one-shot CLI (``hobbit-repro campaign``)
+   into store A, capturing its result payload;
+2. start a real ``hobbit-repro serve`` daemon over store B, submit the
+   same spec, follow the NDJSON stream, fetch the final result;
+3. assert daemon result == one-shot result (the deterministic payload:
+   fingerprint, per-category counts, probes_used, virtual clock) and
+   that the two stores hold byte-identical per-/24 measurement
+   records under identical fingerprint keys;
+4. assert the streamed per-/24 records agree with the stored ones;
+5. resubmit the same spec and require a warm answer (zero new probes:
+   no worker even starts);
+6. SIGTERM the daemon and require exit code 0.
+
+The submitted job's stream journal is left at ``--journal`` for CI to
+upload as an artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py \
+        --profile paper-smoke --limit 2000 \
+        --out service_smoke.json --journal service_smoke_stream.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+)
+
+from repro.service import ServiceClient, jobs  # noqa: E402
+from repro.store import KIND_SLASH24, MeasurementStore  # noqa: E402
+
+
+def run_cli(args, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        ["src"]
+        + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args], env=env, **kwargs
+    )
+
+
+def slash24_documents(root):
+    with MeasurementStore(root) as store:
+        return {
+            document["key"]: document
+            for document in store.documents()
+            if document.get("kind") == KIND_SLASH24
+        }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="paper-smoke")
+    parser.add_argument("--limit", type=int, default=2000)
+    parser.add_argument("--out", default="service_smoke.json")
+    parser.add_argument(
+        "--journal", default="service_smoke_stream.jsonl",
+        help="where to leave the daemon job's stream journal",
+    )
+    args = parser.parse_args()
+
+    spec_args = [
+        "--profile", args.profile, "--limit", str(args.limit),
+        "--no-confidence",
+    ]
+    spec = {
+        "kind": "campaign", "profile": args.profile,
+        "limit": args.limit, "confidence": False,
+    }
+
+    workdir = tempfile.mkdtemp(prefix="service-smoke-")
+    oneshot_store = os.path.join(workdir, "oneshot-store")
+    daemon_store = os.path.join(workdir, "daemon-store")
+    payload_path = os.path.join(workdir, "oneshot.json")
+    timings = {}
+
+    started = time.perf_counter()
+    print(f"[1/6] one-shot CLI campaign into {oneshot_store}")
+    run_cli(
+        ["campaign", *spec_args, "--store", oneshot_store,
+         "--json", payload_path],
+        check=True,
+    )
+    with open(payload_path, encoding="utf-8") as handle:
+        oneshot = json.load(handle)
+    timings["oneshot_seconds"] = round(time.perf_counter() - started, 2)
+
+    print(f"[2/6] daemon over {daemon_store}")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--store", daemon_store, "--port", "0"],
+        env={
+            **os.environ,
+            "PYTHONPATH": os.pathsep.join(
+                ["src"] + [p for p in
+                           os.environ.get("PYTHONPATH", "").split(
+                               os.pathsep) if p]
+            ),
+        },
+        stdin=subprocess.DEVNULL,
+    )
+    try:
+        info_path = jobs.daemon_info_path(daemon_store)
+        deadline = time.monotonic() + 120
+        while not os.path.exists(info_path):
+            assert proc.poll() is None, "daemon died during startup"
+            assert time.monotonic() < deadline, "daemon never advertised"
+            time.sleep(0.1)
+        with open(info_path, encoding="utf-8") as handle:
+            info = json.load(handle)
+        client = ServiceClient(port=info["port"], timeout=600)
+
+        started = time.perf_counter()
+        submitted = client.submit(spec)
+        assert submitted["warm"] is False, "daemon store must start cold"
+        job_id = submitted["id"]
+        print(f"[3/6] streaming job {job_id}")
+        streamed = list(client.stream(job_id))
+        timings["daemon_seconds"] = round(
+            time.perf_counter() - started, 2
+        )
+        assert streamed[-1]["kind"] == "stream_end", streamed[-1]
+        assert streamed[-1]["state"] == "done", streamed[-1]
+        daemon_payload = client.result(job_id)["result"]["payload"]
+
+        print("[4/6] comparing daemon result to the one-shot run")
+        det_daemon = jobs.deterministic_payload(daemon_payload)
+        det_oneshot = jobs.deterministic_payload(oneshot)
+        assert det_daemon == det_oneshot, (
+            "daemon result diverged from one-shot CLI:\n"
+            f"  daemon:   {json.dumps(det_daemon, sort_keys=True)}\n"
+            f"  one-shot: {json.dumps(det_oneshot, sort_keys=True)}"
+        )
+        oneshot_docs = slash24_documents(oneshot_store)
+        daemon_docs = slash24_documents(daemon_store)
+        assert daemon_docs == oneshot_docs, (
+            f"store records diverged: {len(daemon_docs)} daemon vs "
+            f"{len(oneshot_docs)} one-shot"
+        )
+        assert len(daemon_docs) == args.limit
+
+        slash24_events = [
+            record for record in streamed
+            if record.get("name") == "job.slash24"
+        ]
+        assert len(slash24_events) == args.limit, (
+            f"streamed {len(slash24_events)} per-/24 records, "
+            f"expected {args.limit}"
+        )
+        streamed_probes = sum(r["probes"] for r in slash24_events)
+        assert streamed_probes == daemon_payload["probes_used"], (
+            f"streamed probe total {streamed_probes} != final "
+            f"{daemon_payload['probes_used']}"
+        )
+
+        print("[5/6] warm repeat submission")
+        again = client.submit(spec)
+        assert again["warm"] is True and again["state"] == "done", again
+        assert client.status(again["id"])["attempts"] == 0
+        warm_counter = client.metrics()["metrics"]["counters"].get(
+            "service.jobs.warm", 0
+        )
+        assert warm_counter == 1, warm_counter
+
+        shutil.copyfile(
+            jobs.stream_path(daemon_store, job_id), args.journal
+        )
+
+        print("[6/6] SIGTERM → graceful exit 0")
+        proc.send_signal(signal.SIGTERM)
+        returncode = proc.wait(timeout=60)
+        assert returncode == 0, f"daemon exited {returncode}"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    document = {
+        "profile": args.profile,
+        "limit": args.limit,
+        "campaign_fingerprint": oneshot["campaign_fingerprint"],
+        "probes_used": oneshot["probes_used"],
+        "clock_seconds": oneshot["clock_seconds"],
+        "slash24_records": len(daemon_docs),
+        "streamed_records": len(streamed),
+        "warm_repeat": True,
+        "timings": timings,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    shutil.rmtree(workdir, ignore_errors=True)
+    print(f"service smoke OK: {json.dumps(timings)}; wrote {args.out} "
+          f"and {args.journal}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

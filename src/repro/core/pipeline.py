@@ -751,6 +751,7 @@ def run_campaign(
     store=None,
     metrics: Optional[MetricsRegistry] = None,
     result_format: Optional[str] = None,
+    on_measurement=None,
 ) -> CampaignResult:
     """Measure every selected /24 and classify it.
 
@@ -783,6 +784,16 @@ def run_campaign(
     same world), but ``internet.probe_count`` only counts probes this
     run actually sent.
 
+    ``on_measurement(measurement, stats, done, total)`` is invoked once
+    per /24, in result insertion order, as each measurement lands in the
+    result — the progress hook the service daemon's workers use to
+    stream per-/24 records. ``stats`` is the /24's
+    :class:`ProbeStats` where per-/24 accounting exists (the serial
+    path, and store replays on either path) and None for /24s measured
+    inside parallel shard workers, whose per-/24 stats are folded into
+    the shard aggregate. The callback runs on the measuring process's
+    thread; it must not mutate the campaign's inputs.
+
     ``metrics`` names the registry campaign accounting folds into
     (default: the ambient :func:`repro.obs.metrics.current_metrics`).
     The totals are identical — bit for bit — between the serial and
@@ -803,6 +814,7 @@ def run_campaign(
         result = _run_campaign_observed(
             internet, policy, slash24s, snapshot, seed, max_probes,
             max_destinations_per_slash24, workers, store, registry, fmt,
+            on_measurement,
         )
     return result
 
@@ -819,6 +831,7 @@ def _run_campaign_observed(
     store,
     registry: MetricsRegistry,
     result_format: str = "object",
+    on_measurement=None,
 ) -> CampaignResult:
     clock_base = internet.clock_seconds
     engine_base = (
@@ -884,11 +897,17 @@ def _run_campaign_observed(
         stats.merge(fresh_stats)
         # Re-insert following the input order so even the measurement
         # dict's iteration order matches the serial run exactly.
+        done = 0
+        total = len(slash24s)
         for slash24 in slash24s:
             if slash24 in cached:
-                result.add(cached[slash24][0])
+                measurement, replay_stats = cached[slash24]
             else:
-                result.add(by_prefix[slash24])
+                measurement, replay_stats = by_prefix[slash24], None
+            result.add(measurement)
+            done += 1
+            if on_measurement is not None:
+                on_measurement(measurement, replay_stats, done, total)
         # The parent simulator never saw the workers' probes; account
         # for them — counts *and* engine timing — so diagnostics match
         # the serial run. (Replayed /24s sent nothing, so they don't
@@ -929,6 +948,10 @@ def _run_campaign_observed(
             _fold_measurement_metrics(registry, measurement, measure_stats)
             result.add(measurement)
             done += 1
+            if on_measurement is not None:
+                on_measurement(
+                    measurement, measure_stats, done, len(slash24s)
+                )
             if progress is not None:
                 progress.update(
                     done,

@@ -25,7 +25,12 @@ from .manifest import (
     phase_wall_clocks,
     write_run_manifest,
 )
-from .metrics import MetricsRegistry, current_metrics, metrics_scope
+from .metrics import (
+    MetricsRegistry,
+    current_metrics,
+    metrics_scope,
+    snapshot_record,
+)
 from .progress import PROGRESS_ENV, ProgressReporter, progress_enabled
 from .trace import (
     TRACE_ENV,
@@ -56,6 +61,7 @@ __all__ = [
     "metrics_scope",
     "phase_wall_clocks",
     "progress_enabled",
+    "snapshot_record",
     "span",
     "summarize_trace",
     "trace_event",

@@ -1,0 +1,63 @@
+"""Campaign-as-a-service: a long-running asyncio measurement daemon.
+
+Everything the repo can do in one shot — measurement campaigns,
+experiments, warm store replays — becomes a *service* here: a daemon
+(:mod:`repro.service.daemon`) accepts jobs over a local HTTP/JSON API,
+schedules them through a bounded queue onto executor worker processes,
+streams incremental per-/24 results and metrics as NDJSON (the trace
+journal records and metrics-registry snapshots of :mod:`repro.obs` are
+the wire format), and serves warm answers for repeat queries straight
+from the fingerprint-keyed measurement store with zero simulator
+probes.
+
+The layering mirrors the measurement pipeline's own discipline:
+
+* :mod:`repro.service.wire` — stdlib-only HTTP/1.1 framing over
+  asyncio streams (no third-party web framework; the daemon's protocol
+  loop follows the asyncio shape of pyddhcpd's DDHCP daemon);
+* :mod:`repro.service.jobs` — job specs, fingerprints, on-disk job
+  records, and the spec executors shared by the daemon's workers and
+  the one-shot CLI (which is what makes daemon results bit-identical
+  to one-shot runs: both call the same pure function);
+* :mod:`repro.service.worker` — the executor process entry point
+  (``python -m repro.service.worker``); campaigns never run on the
+  event loop, so the daemon stays responsive at any campaign size;
+* :mod:`repro.service.daemon` — the asyncio app: bounded job queue,
+  scheduler, endpoint handlers, graceful shutdown;
+* :mod:`repro.service.client` — the thin stdlib HTTP client behind the
+  ``submit`` / ``status`` / ``watch`` / ``cancel`` CLI subcommands.
+
+Every job coordinates with its workers exclusively through the
+measurement store directory — specs, stream journals and results are
+all files under ``<store>/service/`` — so a daemon killed and
+restarted requeues its interrupted jobs and (thanks to the per-/24
+checkpoints of :mod:`repro.store`) finishes them bit-identically to an
+uninterrupted run.
+"""
+
+from .client import ServiceClient, ServiceError
+from .daemon import DEFAULT_HOST, DEFAULT_PORT, ServiceDaemon
+from .jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobRecord,
+    execute_spec,
+    normalize_spec,
+    result_key_for,
+    spec_fingerprint,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "JOB_STATES",
+    "JobRecord",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceError",
+    "TERMINAL_STATES",
+    "execute_spec",
+    "normalize_spec",
+    "result_key_for",
+    "spec_fingerprint",
+]

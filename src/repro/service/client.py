@@ -1,0 +1,186 @@
+"""Thin stdlib HTTP client for the daemon's API.
+
+Backs the ``submit`` / ``status`` / ``watch`` / ``cancel`` CLI
+subcommands and the test suite. One :class:`http.client.HTTPConnection`
+per request (the daemon closes every connection anyway), JSON in and
+out, and a line iterator over the NDJSON stream endpoint.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+from typing import Dict, Iterator, List, Optional
+
+from . import jobs
+from .daemon import DEFAULT_HOST, DEFAULT_PORT
+
+#: Generous request timeout: a submit may wait on the daemon's warm
+#: lookup; streams carry their own read cadence.
+REQUEST_TIMEOUT_SECONDS = 60.0
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx daemon answer; carries the HTTP status and the
+    daemon's error document."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+def discover(store_root: str) -> Optional[Dict]:
+    """Read a running daemon's address from its discovery file
+    (``<store>/service/daemon.json``); None when no daemon advertises.
+    """
+    path = jobs.daemon_info_path(store_root)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class ServiceClient:
+    """A client bound to one daemon address."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        timeout: float = REQUEST_TIMEOUT_SECONDS,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def for_store(cls, store_root: str) -> "ServiceClient":
+        """A client for the daemon advertising on ``store_root``."""
+        info = discover(store_root)
+        if info is None:
+            raise ServiceError(
+                503,
+                f"no daemon advertises on {store_root!r} "
+                "(is `hobbit-repro serve` running?)",
+            )
+        return cls(host=info["host"], port=int(info["port"]))
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload,
+                               headers=headers)
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+            try:
+                document = json.loads(text) if text.strip() else {}
+            except json.JSONDecodeError:
+                document = {"error": text.strip()}
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status,
+                    str(document.get("error", text.strip())),
+                )
+            return document
+        finally:
+            connection.close()
+
+    # -- the API -----------------------------------------------------------
+
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict:
+        return self._request("GET", "/metrics")
+
+    def jobs(self) -> List[Dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def submit(self, spec: Dict) -> Dict:
+        """Submit a job spec; returns ``{id, state, warm,
+        fingerprint}`` (``state == "done"`` means it was answered warm
+        from the store)."""
+        return self._request("POST", "/jobs", body=spec)
+
+    def status(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def pause(self, job_id: str) -> Dict:
+        return self._request("POST", f"/jobs/{job_id}/pause")
+
+    def resume(self, job_id: str) -> Dict:
+        return self._request("POST", f"/jobs/{job_id}/resume")
+
+    def stream(self, job_id: str) -> Iterator[Dict]:
+        """Yield the job's NDJSON stream records until it ends (the
+        daemon closes the connection after its ``stream_end`` line)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", f"/jobs/{job_id}/stream")
+            response = connection.getresponse()
+            if response.status >= 400:
+                text = response.read().decode("utf-8")
+                try:
+                    document = json.loads(text)
+                except json.JSONDecodeError:
+                    document = {"error": text.strip()}
+                raise ServiceError(
+                    response.status, str(document.get("error", ""))
+                )
+            buffer = b""
+            while True:
+                chunk = response.read(8192)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line.decode("utf-8"))
+            if buffer.strip():
+                yield json.loads(buffer.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def wait(
+        self, job_id: str, poll_seconds: float = 0.1,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        """Poll until the job leaves the queued/running states; returns
+        the final status document."""
+        import time
+
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while True:
+            document = self.status(job_id)
+            if document["state"] not in ("queued", "running"):
+                return document
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    504, f"timed out waiting for {job_id} "
+                    f"(still {document['state']})"
+                )
+            time.sleep(poll_seconds)

@@ -1,0 +1,621 @@
+"""The measurement daemon: an asyncio app over the job machinery.
+
+One long-lived process owning one measurement store. Clients submit
+job specs over local HTTP/JSON; the daemon schedules them through a
+bounded queue onto executor worker processes, streams their per-/24
+progress as NDJSON, and answers repeat queries from the
+fingerprint-keyed store without running anything at all.
+
+Design points, in the order they matter:
+
+* **Nothing blocks the event loop.** Campaigns run in worker
+  processes (:mod:`repro.service.worker`) supervised by polling; the
+  daemon's own work is parsing small requests, moving small files, and
+  copying stream bytes. Store refresh on the warm path is safe because
+  :meth:`repro.store.MeasurementStore.refresh` answers the no-change
+  case with a lock-free size probe.
+* **Backpressure is explicit.** A bounded queue (``max_queued``) and a
+  concurrency gate (``max_concurrent``); a submit over the bound gets
+  429, never an unbounded backlog — the daemon's answer to the
+  "millions of users" framing is refusing load it cannot schedule.
+* **State lives on disk, not in the process.** Job records, stream
+  journals and results are files under ``<store>/service/``; the
+  in-memory queue is rebuilt from them at startup, so a killed daemon
+  restarts, requeues interrupted jobs, and (per-/24 checkpoints)
+  finishes them bit-identically.
+* **Shutdown is a state transition.** First SIGINT/SIGTERM stops the
+  listener, SIGTERMs workers (their checkpoints are durable), marks
+  their jobs ``interrupted``, closes stores and workspaces, exits 0.
+  A second signal force-quits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import Dict, Optional
+
+from . import jobs, wire
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8742
+
+#: Scheduler/supervisor poll interval. Local daemon, tiny files — the
+#: cost of a poll is a stat and a coroutine switch.
+POLL_SECONDS = 0.05
+
+#: How often an open stream interleaves a metrics snapshot line
+#: between journal records.
+STREAM_METRICS_SECONDS = 1.0
+
+#: Grace period between SIGTERM and SIGKILL at shutdown.
+TERMINATE_GRACE_SECONDS = 10.0
+
+
+class ServiceDaemon:
+    """The daemon app; one instance per (store, port)."""
+
+    def __init__(
+        self,
+        store_root: str,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        max_queued: int = 16,
+        max_concurrent: int = 2,
+    ) -> None:
+        from ..obs.metrics import MetricsRegistry
+        from ..store import MeasurementStore
+
+        if max_queued < 1 or max_concurrent < 1:
+            raise ValueError("max_queued and max_concurrent must be >= 1")
+        self.store_root = os.path.abspath(store_root)
+        self.host = host
+        self.port = port
+        self.max_queued = max_queued
+        self.max_concurrent = max_concurrent
+        self.registry = MetricsRegistry()
+        os.makedirs(jobs.jobs_dir(self.store_root), exist_ok=True)
+        #: The daemon's read view of the store (warm answers, results).
+        #: Workers append through their own handles; we only refresh.
+        self.store = MeasurementStore(self.store_root)
+        self.started_at = time.time()
+        #: Set once the listener is bound; the actual port lands in
+        #: :attr:`bound_port` (useful with ``port=0``).
+        self.started = threading.Event()
+        self.bound_port: Optional[int] = None
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._queued_count = 0
+        self._procs: Dict[str, subprocess.Popen] = {}
+        self._job_tasks: set = set()
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._draining = False
+        self._signals_seen = 0
+
+    # -- bookkeeping helpers ----------------------------------------------
+
+    def _gauge_depth(self) -> None:
+        self.registry.gauge("service.queue.depth", self._queued_count)
+        self.registry.gauge("service.jobs.running", len(self._procs))
+
+    def _save_and_note(self, record: jobs.JobRecord, **extra) -> None:
+        """Persist a state transition and journal it on the job's
+        stream (only ever called while no worker owns the journal)."""
+        jobs.save_job(self.store_root, record)
+        jobs.append_stream_record(
+            self.store_root, record.id,
+            {
+                "kind": "job", "job": record.id, "state": record.state,
+                **extra,
+            },
+        )
+
+    def _requeue_persisted_jobs(self) -> None:
+        """Startup recovery: anything queued or in flight when the
+        previous daemon died goes back on the queue."""
+        for record in jobs.list_jobs(self.store_root):
+            if record.state == jobs.STATE_QUEUED:
+                self._enqueue(record, note=False)
+            elif record.state in (
+                jobs.STATE_RUNNING, jobs.STATE_INTERRUPTED
+            ):
+                record.state = jobs.STATE_QUEUED
+                record.pid = None
+                self._save_and_note(record, resumed=True)
+                self._enqueue(record, note=False)
+                self.registry.count("service.jobs.resumed")
+
+    def _enqueue(
+        self, record: jobs.JobRecord, note: bool = True
+    ) -> None:
+        if note:
+            self._save_and_note(record)
+        self._queued_count += 1
+        self._gauge_depth()
+        assert self._queue is not None
+        self._queue.put_nowait(record.id)
+
+    # -- scheduler ---------------------------------------------------------
+
+    async def _scheduler(self) -> None:
+        assert self._queue is not None and self._slots is not None
+        while True:
+            # Slot first, then job: a job must stay *in the queue*
+            # (still counted against max_queued) until a worker slot
+            # can actually take it, or backpressure under-reports the
+            # backlog by one hidden dequeued-but-waiting job.
+            await self._slots.acquire()
+            job_id = await self._queue.get()
+            if job_id is None:
+                self._slots.release()
+                break
+            self._queued_count -= 1
+            self._gauge_depth()
+            record = jobs.load_job(self.store_root, job_id)
+            if record is None or record.state != jobs.STATE_QUEUED \
+                    or self._draining:
+                self._slots.release()  # cancelled while queued
+                if self._draining:
+                    break
+                continue
+            task = asyncio.get_running_loop().create_task(
+                self._run_job(job_id)
+            )
+            self._job_tasks.add(task)
+            task.add_done_callback(self._job_tasks.discard)
+
+    async def _run_job(self, job_id: str) -> None:
+        assert self._slots is not None
+        proc: Optional[subprocess.Popen] = None
+        try:
+            record = jobs.load_job(self.store_root, job_id)
+            if record is None or record.state != jobs.STATE_QUEUED:
+                return
+            record.state = jobs.STATE_RUNNING
+            record.started = time.time()
+            record.attempts += 1
+            proc = self._spawn_worker(record)
+            record.pid = proc.pid
+            # Journal the transition *before* the worker starts writing
+            # (it inherits the journal only once spawned — but spawn
+            # happens above; the worker's first line lands after its
+            # interpreter boots, comfortably after this append).
+            self._save_and_note(record, pid=proc.pid,
+                                attempt=record.attempts)
+            self._procs[job_id] = proc
+            self._gauge_depth()
+            while proc.poll() is None:
+                await asyncio.sleep(POLL_SECONDS)
+            returncode = proc.wait()
+            self._finish_job(job_id, returncode)
+        finally:
+            if proc is not None:
+                self._procs.pop(job_id, None)
+                self._gauge_depth()
+            self._slots.release()
+
+    def _spawn_worker(self, record: jobs.JobRecord) -> subprocess.Popen:
+        import repro
+
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)
+        ))
+        env = dict(os.environ)
+        parts = [src_root] + [
+            p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p
+        ]
+        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+        with open(
+            jobs.log_path(self.store_root, record.id), "a",
+            encoding="utf-8",
+        ) as log:
+            return subprocess.Popen(
+                [sys.executable, "-m", "repro.service.worker",
+                 self.store_root, record.id],
+                stdout=log, stderr=subprocess.STDOUT,
+                stdin=subprocess.DEVNULL, env=env,
+            )
+
+    def _finish_job(self, job_id: str, returncode: int) -> None:
+        from .worker import EXIT_OK
+
+        record = jobs.load_job(self.store_root, job_id)
+        if record is None:
+            return
+        record.pid = None
+        if returncode == EXIT_OK:
+            record.state = jobs.STATE_DONE
+            record.finished = time.time()
+            record.error = None
+            self.registry.count("service.jobs.completed")
+            self._save_and_note(record)
+            return
+        if record.state in (jobs.STATE_CANCELLED, jobs.STATE_PAUSED):
+            # The cancel/pause handler already set the target state and
+            # journalled it; the worker's exit just confirms it.
+            jobs.save_job(self.store_root, record)
+            return
+        if self._draining:
+            record.state = jobs.STATE_INTERRUPTED
+            self._save_and_note(record)
+            return
+        record.state = jobs.STATE_FAILED
+        record.finished = time.time()
+        error_file = jobs.error_path(self.store_root, job_id)
+        if os.path.exists(error_file):
+            with open(error_file, "r", encoding="utf-8") as handle:
+                text = handle.read().strip()
+            record.error = text.splitlines()[-1] if text else None
+        else:
+            record.error = f"worker exited with code {returncode}"
+        self.registry.count("service.jobs.failed")
+        self._save_and_note(record, error=record.error)
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await wire.read_request(reader)
+            except wire.WireError as error:
+                writer.write(wire.error_response(error.status,
+                                                 error.message))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            await self._dispatch(request, writer)
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self, request: wire.Request, writer: asyncio.StreamWriter
+    ) -> None:
+        method, path = request.method, request.path.rstrip("/") or "/"
+        try:
+            if path == "/healthz" and method == "GET":
+                response = self._healthz()
+            elif path == "/metrics" and method == "GET":
+                response = self._metrics()
+            elif path == "/jobs" and method == "GET":
+                response = self._list_jobs()
+            elif path == "/jobs" and method == "POST":
+                response = self._submit(request)
+            elif path.startswith("/jobs/"):
+                parts = path.split("/")[2:]
+                if len(parts) == 1 and method == "GET":
+                    response = self._job_status(parts[0])
+                elif len(parts) == 2 and parts[1] == "result" \
+                        and method == "GET":
+                    response = self._job_result(parts[0])
+                elif len(parts) == 2 and parts[1] == "stream" \
+                        and method == "GET":
+                    await self._stream_job(parts[0], writer)
+                    return
+                elif len(parts) == 2 and method == "POST" \
+                        and parts[1] in ("cancel", "pause", "resume"):
+                    response = self._transition(parts[0], parts[1])
+                else:
+                    response = wire.error_response(
+                        405 if len(parts) <= 2 else 404,
+                        f"no route {method} {path}",
+                    )
+            else:
+                response = wire.error_response(
+                    404, f"no route {method} {path}"
+                )
+        except wire.WireError as error:
+            response = wire.error_response(error.status, error.message)
+        except jobs.SpecError as error:
+            response = wire.error_response(400, str(error))
+        writer.write(response)
+        await writer.drain()
+
+    def _healthz(self) -> bytes:
+        return wire.json_response(200, {
+            "ok": True,
+            "store": self.store_root,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "queued": self._queued_count,
+            "running": len(self._procs),
+            "max_queued": self.max_queued,
+            "max_concurrent": self.max_concurrent,
+        })
+
+    def _metrics(self) -> bytes:
+        from ..obs.metrics import snapshot_record
+
+        self._gauge_depth()
+        return wire.json_response(
+            200, snapshot_record(self.registry, name="service.metrics")
+        )
+
+    def _list_jobs(self) -> bytes:
+        return wire.json_response(200, {
+            "jobs": [
+                record.summary()
+                for record in jobs.list_jobs(self.store_root)
+            ],
+        })
+
+    def _submit(self, request: wire.Request) -> bytes:
+        spec = jobs.normalize_spec(request.json())
+        if self._draining:
+            return wire.error_response(503, "daemon is shutting down")
+        if self._queued_count >= self.max_queued:
+            self.registry.count("service.jobs.rejected")
+            return wire.error_response(
+                429,
+                f"job queue full ({self._queued_count} queued, "
+                f"limit {self.max_queued}); retry later",
+            )
+        record = jobs.JobRecord.create(
+            jobs.next_job_id(self.store_root), spec
+        )
+        self.registry.count("service.jobs.accepted")
+        if not spec["fresh"]:
+            # The warm path: a completed run of this exact spec already
+            # sits in the store under the spec's fingerprint — answer
+            # it without scheduling anything (zero simulator probes).
+            self.store.refresh()
+            if self.store.get(record.result_key) is not None:
+                record.state = jobs.STATE_DONE
+                record.warm = True
+                record.finished = time.time()
+                self.registry.count("service.jobs.warm")
+                self._save_and_note(record, warm=True)
+                return wire.json_response(200, {
+                    "id": record.id, "state": record.state,
+                    "warm": True, "fingerprint": record.fingerprint,
+                })
+        self._enqueue(record)
+        return wire.json_response(202, {
+            "id": record.id, "state": record.state, "warm": False,
+            "fingerprint": record.fingerprint,
+        })
+
+    def _load_or_404(self, job_id: str) -> jobs.JobRecord:
+        record = jobs.load_job(self.store_root, job_id)
+        if record is None:
+            raise wire.WireError(404, f"no such job {job_id!r}")
+        return record
+
+    def _job_status(self, job_id: str) -> bytes:
+        record = self._load_or_404(job_id)
+        document = record.to_dict()
+        manifest_file = jobs.manifest_path(self.store_root, job_id)
+        if os.path.exists(manifest_file):
+            with open(manifest_file, "r", encoding="utf-8") as handle:
+                document["manifest"] = json.load(handle)
+        return wire.json_response(200, document)
+
+    def _job_result(self, job_id: str) -> bytes:
+        record = self._load_or_404(job_id)
+        if record.state != jobs.STATE_DONE:
+            return wire.error_response(
+                409, f"job {job_id} is {record.state}, not done"
+            )
+        self.store.refresh()
+        document = self.store.get(record.result_key)
+        if document is None:
+            return wire.error_response(
+                404, f"result for {job_id} not found in store"
+            )
+        return wire.json_response(200, {
+            "id": record.id,
+            "warm": record.warm,
+            "fingerprint": record.fingerprint,
+            "result": document.get("value"),
+        })
+
+    def _transition(self, job_id: str, action: str) -> bytes:
+        record = self._load_or_404(job_id)
+        if action == "resume":
+            if record.state == jobs.STATE_QUEUED:
+                return wire.json_response(200, record.summary())
+            if record.state not in jobs.RESUMABLE_STATES:
+                return wire.error_response(
+                    409, f"cannot resume a {record.state} job"
+                )
+            record.state = jobs.STATE_QUEUED
+            record.error = None
+            record.pid = None
+            self.registry.count("service.jobs.resumed")
+            self._enqueue(record)
+            return wire.json_response(202, record.summary())
+        target = (
+            jobs.STATE_CANCELLED if action == "cancel"
+            else jobs.STATE_PAUSED
+        )
+        if record.state in jobs.TERMINAL_STATES:
+            return wire.error_response(
+                409, f"cannot {action} a {record.state} job"
+            )
+        was_running = record.state == jobs.STATE_RUNNING
+        record.state = target
+        record.finished = time.time()
+        if was_running:
+            # Set the state first (the supervisor keys off it when the
+            # worker exits), then tell the worker to stop; its per-/24
+            # checkpoints are already durable.
+            jobs.save_job(self.store_root, record)
+            proc = self._procs.get(job_id)
+            if proc is not None and proc.poll() is None:
+                proc.terminate()
+            jobs.append_stream_record(
+                self.store_root, job_id,
+                {"kind": "job", "job": job_id, "state": target},
+            )
+        else:
+            self._save_and_note(record)
+        if action == "cancel":
+            self.registry.count("service.jobs.cancelled")
+        return wire.json_response(202, record.summary())
+
+    # -- streaming ---------------------------------------------------------
+
+    async def _stream_job(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        """Forward the job's NDJSON journal, live, until the job is
+        over; metrics snapshots are interleaved about once a second.
+        The body is close-delimited (no Content-Length)."""
+        from ..obs.metrics import snapshot_record
+
+        record = self._load_or_404(job_id)
+        writer.write(wire.response_head(
+            200, content_type="application/x-ndjson"
+        ))
+        await writer.drain()
+        path = jobs.stream_path(self.store_root, job_id)
+        offset = 0
+        last_metrics = 0.0
+
+        async def send(data: bytes) -> None:
+            writer.write(data)
+            self.registry.count("service.stream.bytes", len(data))
+            await writer.drain()
+
+        while True:
+            chunk = b""
+            if os.path.exists(path):
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+            if chunk:
+                # Forward only complete lines; a worker mid-write keeps
+                # its partial line until the newline lands.
+                cut = chunk.rfind(b"\n")
+                if cut >= 0:
+                    await send(chunk[: cut + 1])
+                    offset += cut + 1
+            record = self._load_or_404(job_id)
+            if record.state not in (
+                jobs.STATE_QUEUED, jobs.STATE_RUNNING
+            ) and (not os.path.exists(path)
+                   or os.path.getsize(path) <= offset):
+                break
+            now = time.monotonic()
+            if now - last_metrics >= STREAM_METRICS_SECONDS:
+                last_metrics = now
+                self._gauge_depth()
+                await send(wire.ndjson_line(
+                    snapshot_record(self.registry, name="service.metrics")
+                ))
+            await asyncio.sleep(POLL_SECONDS)
+        await send(wire.ndjson_line({
+            "kind": "stream_end", "job": job_id, "state": record.state,
+            "warm": record.warm,
+        }))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown; safe to call from any thread."""
+        loop = self._loop
+        if loop is not None:
+            loop.call_soon_threadsafe(self._begin_shutdown)
+
+    def _begin_shutdown(self) -> None:
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    def _on_signal(self) -> None:
+        self._signals_seen += 1
+        if self._signals_seen >= 2:
+            os._exit(1)
+        self._begin_shutdown()
+
+    async def run(self) -> None:
+        """Serve until shutdown is requested, then drain and exit."""
+        from ..experiments import close_workspaces
+        from ..obs.trace import trace_event
+
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._slots = asyncio.Semaphore(self.max_concurrent)
+        self._shutdown_event = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            # Fails off the main thread (tests run the daemon in a
+            # thread and drive shutdown via request_shutdown()).
+            with contextlib.suppress(
+                NotImplementedError, RuntimeError, ValueError
+            ):
+                self._loop.add_signal_handler(signum, self._on_signal)
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.bound_port = server.sockets[0].getsockname()[1]
+        info_path = jobs.daemon_info_path(self.store_root)
+        from ..util.fileio import atomic_writer
+
+        with atomic_writer(info_path) as handle:
+            json.dump(
+                {
+                    "host": self.host, "port": self.bound_port,
+                    "pid": os.getpid(), "store": self.store_root,
+                },
+                handle, indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+        self._requeue_persisted_jobs()
+        scheduler = self._loop.create_task(self._scheduler())
+        self.started.set()
+        trace_event(
+            "service.started", host=self.host, port=self.bound_port,
+            store=self.store_root,
+        )
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            # Stop the in-flight workers; their checkpoints make the
+            # jobs resumable, and _finish_job marks them interrupted.
+            for proc in list(self._procs.values()):
+                if proc.poll() is None:
+                    proc.terminate()
+            assert self._queue is not None
+            self._queue.put_nowait(None)
+            deadline = time.monotonic() + TERMINATE_GRACE_SECONDS
+            if self._job_tasks:
+                done, pending = await asyncio.wait(
+                    list(self._job_tasks),
+                    timeout=TERMINATE_GRACE_SECONDS,
+                )
+                for task in pending:
+                    task.cancel()
+            for proc in list(self._procs.values()):
+                if proc.poll() is None and time.monotonic() > deadline:
+                    proc.kill()
+                proc.wait()
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(scheduler, timeout=5.0)
+            self.store.close()
+            close_workspaces()
+            with contextlib.suppress(OSError):
+                os.remove(info_path)
+            trace_event("service.stopped", store=self.store_root)
+
+    def serve_forever(self) -> None:
+        """Blocking entry point (the CLI's ``serve``, or a test
+        thread): runs the daemon on a fresh event loop until shutdown.
+        """
+        asyncio.run(self.run())

@@ -1,0 +1,192 @@
+"""Minimal HTTP/1.1 framing over asyncio streams — stdlib only.
+
+The daemon speaks plain HTTP so any client (curl, ``http.client``, a
+browser) can drive it, but it deliberately stops at the framing layer:
+request line + headers + Content-Length body in, status line + headers
++ body out, one request per connection (every response carries
+``Connection: close``). No routing framework, no keep-alive state
+machine, no chunked encoding — a measurement daemon's API surface is
+six endpoints and its hot path is the NDJSON stream, which is just
+sequential writes on the socket until the job ends.
+
+Responses are JSON documents; streams are ``application/x-ndjson``
+with no Content-Length (close-delimited — the client reads until EOF,
+which ``Connection: close`` makes unambiguous).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+#: Hard limits on inbound requests. The API is local and its documents
+#: are small (job specs); anything larger is a client bug, not a load
+#: profile to support.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_LINES = 64
+MAX_BODY_BYTES = 1 << 20
+
+#: Seconds a connection may take to deliver a complete request head +
+#: body before the daemon drops it (a stalled client must never pin a
+#: reader coroutine forever).
+REQUEST_TIMEOUT_SECONDS = 10.0
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class WireError(Exception):
+    """A malformed or oversized request; carries the HTTP status to
+    answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The body as a JSON object (raises :class:`WireError` 400 on
+        anything else, including non-object documents)."""
+        if not self.body:
+            return {}
+        try:
+            document = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise WireError(400, f"request body is not JSON: {error}")
+        if not isinstance(document, dict):
+            raise WireError(400, "request body must be a JSON object")
+        return document
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body: int = MAX_BODY_BYTES,
+) -> Optional[Request]:
+    """Read one request off the stream; None on clean EOF (the client
+    connected and left without sending anything)."""
+    try:
+        line = await asyncio.wait_for(
+            reader.readline(), REQUEST_TIMEOUT_SECONDS
+        )
+    except asyncio.TimeoutError:
+        raise WireError(400, "timed out reading request line")
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise WireError(400, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise WireError(400, f"malformed request line {line!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADER_LINES + 1):
+        try:
+            raw = await asyncio.wait_for(
+                reader.readline(), REQUEST_TIMEOUT_SECONDS
+            )
+        except asyncio.TimeoutError:
+            raise WireError(400, "timed out reading headers")
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        if len(raw) > MAX_REQUEST_LINE:
+            raise WireError(400, "header line too long")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise WireError(400, f"malformed header line {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise WireError(400, "too many header lines")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise WireError(400, f"bad Content-Length {length_text!r}")
+        if length > max_body:
+            raise WireError(413, f"request body over {max_body} bytes")
+        if length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), REQUEST_TIMEOUT_SECONDS
+                )
+            except asyncio.IncompleteReadError:
+                raise WireError(400, "request body truncated")
+            except asyncio.TimeoutError:
+                raise WireError(400, "timed out reading request body")
+    return Request(
+        method=method.upper(),
+        path=split.path or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def json_bytes(document: object) -> bytes:
+    """A response body: JSON with sorted keys (stable for tests and
+    diffs) and a trailing newline (curl-friendly)."""
+    return (
+        json.dumps(document, sort_keys=True, default=str) + "\n"
+    ).encode("utf-8")
+
+
+def response_head(
+    status: int,
+    content_type: str = "application/json",
+    content_length: Optional[int] = None,
+) -> bytes:
+    """Status line + headers. ``content_length=None`` means a
+    close-delimited streaming body."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    if content_length is not None:
+        lines.append(f"Content-Length: {content_length}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def json_response(status: int, document: object) -> bytes:
+    """A complete JSON response (head + body) in one buffer."""
+    body = json_bytes(document)
+    return response_head(status, content_length=len(body)) + body
+
+
+def error_response(status: int, message: str) -> bytes:
+    return json_response(status, {"error": message, "status": status})
+
+
+def ndjson_line(document: object) -> bytes:
+    """One stream record: compact JSON + newline (the same line format
+    the trace journal uses, so journal lines pass through verbatim)."""
+    return (
+        json.dumps(document, separators=(",", ":"), default=str) + "\n"
+    ).encode("utf-8")

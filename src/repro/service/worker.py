@@ -1,0 +1,160 @@
+"""Executor worker: ``python -m repro.service.worker <store> <job-id>``.
+
+The daemon never runs a campaign on its event loop — every job becomes
+one worker process, launched with plain :mod:`subprocess` (not a fork
+off the daemon, which may itself live inside a threaded test host) and
+supervised by polling its exit code. The worker's contract is entirely
+file-based, which is what makes worker loss recoverable:
+
+* it reads its job record from ``<store>/service/jobs/<id>.json``;
+* it appends its trace journal to ``<id>.stream.jsonl`` — one
+  ``job.slash24`` event per completed /24, which *is* the NDJSON the
+  daemon's ``/jobs/{id}/stream`` endpoint forwards;
+* each /24 it measures is durably checkpointed in the measurement
+  store by the campaign pipeline itself (PR-3 machinery), so killing
+  the worker at any instant loses at most the /24 in flight;
+* on success it puts the job's result document into the store under
+  :func:`repro.service.jobs.result_key_for` (the warm path for repeat
+  submissions) and writes a run manifest; on failure it leaves the
+  traceback in ``<id>.error``.
+
+SIGTERM (daemon cancel/shutdown) raises ``SystemExit`` so context
+managers unwind — workspaces and the tracer close cleanly — and the
+process exits 143; the checkpoints already on disk are the resume
+point.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import traceback
+
+from . import jobs
+
+#: Exit codes the daemon interprets.
+EXIT_OK = 0
+EXIT_FAILED = 1
+EXIT_BAD_INVOCATION = 2
+EXIT_TERMINATED = 143
+
+
+def _on_sigterm(signum, frame):  # noqa: ANN001
+    raise SystemExit(EXIT_TERMINATED)
+
+
+def run_worker(store_root: str, job_id: str) -> int:
+    from ..obs.manifest import build_manifest, write_run_manifest
+    from ..obs.metrics import metrics_scope
+    from ..obs.trace import configure_tracing, trace_event, trace_warning
+    from ..store import MeasurementStore, artifact_record
+
+    record = jobs.load_job(store_root, job_id)
+    if record is None:
+        print(f"no job record for {job_id!r} under {store_root}",
+              file=sys.stderr)
+        return EXIT_BAD_INVOCATION
+    spec = record.spec
+    stream = jobs.stream_path(store_root, job_id)
+    tracer = configure_tracing(stream)
+    try:
+        with metrics_scope() as registry:
+            trace_event(
+                "job.start", job=job_id, job_kind=spec["kind"],
+                attempt=record.attempts, fingerprint=record.fingerprint,
+            )
+
+            def on_measurement(measurement, stats, done, total):  # noqa: ANN001
+                trace_event(
+                    "job.slash24",
+                    job=job_id,
+                    prefix=str(measurement.slash24),
+                    category=measurement.category.name.lower(),
+                    probes=measurement.probes_used,
+                    replayed=stats is not None and stats.sent == 0,
+                    done=done,
+                    total=total,
+                )
+
+            try:
+                payload = jobs.execute_spec(
+                    spec, store_root, on_measurement=on_measurement
+                )
+            except SystemExit:
+                trace_event("job.terminated", job=job_id)
+                raise
+            except Exception:
+                text = traceback.format_exc()
+                with open(
+                    jobs.error_path(store_root, job_id), "w",
+                    encoding="utf-8",
+                ) as handle:
+                    handle.write(text)
+                trace_warning(
+                    "job.failed", text.strip().splitlines()[-1],
+                    job=job_id,
+                )
+                return EXIT_FAILED
+
+            # Persist the result under the spec's fingerprint key: the
+            # next submission of this spec is answered straight from
+            # the store, no worker, zero probes.
+            store = MeasurementStore(store_root)
+            try:
+                store.put(artifact_record(
+                    record.result_key,
+                    {
+                        "payload": payload,
+                        "job": job_id,
+                        "fingerprint": record.fingerprint,
+                        "metrics": registry.to_dict(),
+                    },
+                ))
+            finally:
+                store.close()
+            write_run_manifest(
+                jobs.manifest_path(store_root, job_id),
+                build_manifest(
+                    command=f"service-worker {spec['kind']}",
+                    profile=spec.get("profile"),
+                    workers=spec.get("workers"),
+                    store_path=store_root,
+                    trace_path=stream,
+                    registry=registry,
+                    extra={
+                        "job": job_id,
+                        "fingerprint": record.fingerprint,
+                        "attempt": record.attempts,
+                    },
+                ),
+            )
+            trace_event(
+                "job.result", job=job_id,
+                **{
+                    # Scalars only, and never the journal's own framing
+                    # fields ("kind" names the job kind in a payload).
+                    f"result_{key}" if key == "kind" else key: value
+                    for key, value in jobs.deterministic_payload(
+                        payload
+                    ).items()
+                    if not isinstance(value, (dict, list))
+                },
+            )
+            return EXIT_OK
+    finally:
+        tracer.close()
+        configure_tracing(None)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print("usage: python -m repro.service.worker <store-root> <job-id>",
+              file=sys.stderr)
+        return EXIT_BAD_INVOCATION
+    signal.signal(signal.SIGTERM, _on_sigterm)
+    return run_worker(argv[0], argv[1])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

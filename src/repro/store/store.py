@@ -296,7 +296,30 @@ class MeasurementStore:
         visible or not started — never half-read). Returns the number of
         records newly indexed. Records this process wrote itself decode
         identically and are skipped without counting as superseded.
+
+        The common case on a hot serve path (the service daemon calls
+        refresh before every warm-answer lookup) is that *nothing* has
+        been appended. That case is answered by a lock-free size probe:
+        segment files are append-only and ``_indexed_offsets`` records a
+        validated frame boundary, so ``size <= indexed`` proves there is
+        no unindexed complete frame — without touching the store lock a
+        concurrent writer may be holding through an fsync. Only when
+        some segment has grown does refresh take the shared lock and
+        scan (re-checking sizes under it, since the probe races writers
+        by design).
         """
+        grew = False
+        for shard in range(self.shards):
+            path = self._segment_path(shard)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            if size > self._indexed_offsets.get(shard, 0):
+                grew = True
+                break
+        if not grew:
+            return 0
         added = 0
         with self._lock.shared():
             for shard in range(self.shards):

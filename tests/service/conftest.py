@@ -1,0 +1,83 @@
+"""Fixtures for daemon lifecycle tests.
+
+Daemons under test run on a background thread (``port=0`` picks a free
+port) against a per-test store; shutdown is driven through
+``request_shutdown`` and always joined, so no socket, store handle or
+worker process outlives its test (ResourceWarnings are errors here).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import time
+
+import pytest
+
+from repro.service import ServiceClient, ServiceDaemon
+from repro.service import jobs as jobs_mod
+
+#: Generous because a worker boots a fresh interpreter (~1-2 s).
+DEADLINE_SECONDS = 120.0
+
+
+@contextlib.contextmanager
+def daemon_over(store_root: str, **kwargs):
+    daemon = ServiceDaemon(str(store_root), port=0, **kwargs)
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    assert daemon.started.wait(30), "daemon never bound its port"
+    try:
+        yield daemon, ServiceClient(port=daemon.bound_port)
+    finally:
+        daemon.request_shutdown()
+        thread.join(DEADLINE_SECONDS)
+        assert not thread.is_alive(), "daemon failed to shut down"
+
+
+@pytest.fixture
+def run_daemon():
+    return daemon_over
+
+
+def wait_for_stream_events(
+    store_root: str, job_id: str, name: str, count: int = 1,
+    timeout: float = DEADLINE_SECONDS,
+) -> None:
+    """Block until the job's journal holds ``count`` events named
+    ``name`` (e.g. the first durable per-/24 checkpoint)."""
+    path = jobs_mod.stream_path(str(store_root), job_id)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        seen = 0
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if record.get("name") == name:
+                        seen += 1
+        except OSError:
+            pass
+        if seen >= count:
+            return
+        time.sleep(0.05)
+    raise AssertionError(
+        f"never saw {count} {name!r} event(s) for {job_id}"
+    )
+
+
+def slash24_documents(store_root: str) -> dict:
+    """Every per-/24 measurement record in the store, by key — the
+    byte-level object bit-identity assertions compare."""
+    from repro.store import KIND_SLASH24, MeasurementStore
+
+    with MeasurementStore(str(store_root)) as store:
+        return {
+            document["key"]: document
+            for document in store.documents()
+            if document.get("kind") == KIND_SLASH24
+        }

@@ -1,0 +1,199 @@
+"""Daemon lifecycle: submit/stream/result, warm serving, cancel/resume,
+backpressure, and bit-identity against the one-shot executor."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service import ServiceError, jobs
+
+from .conftest import (
+    daemon_over,
+    slash24_documents,
+    wait_for_stream_events,
+)
+
+CAMPAIGN_SPEC = {
+    "kind": "campaign", "profile": "tiny", "confidence": False,
+    "limit": 6,
+}
+#: Slow enough that cancel lands mid-campaign, fast enough for CI.
+PACED_SPEC = {**CAMPAIGN_SPEC, "limit": 8, "pace_seconds": 0.4}
+
+
+class TestJobLifecycle:
+    def test_submit_stream_result_and_warm_repeat(self, tmp_path):
+        store = tmp_path / "daemon-store"
+        reference_store = tmp_path / "reference-store"
+        # The reference: the same normalized spec through the same
+        # executor the daemon's workers call — i.e. the one-shot CLI
+        # path — in its own store.
+        reference = jobs.execute_spec(
+            jobs.normalize_spec(CAMPAIGN_SPEC), str(reference_store)
+        )
+        with daemon_over(store) as (daemon, client):
+            submitted = client.submit(CAMPAIGN_SPEC)
+            assert submitted["state"] == "queued"
+            assert submitted["warm"] is False
+            job_id = submitted["id"]
+
+            records = list(client.stream(job_id))
+            slash24_events = [
+                r for r in records if r.get("name") == "job.slash24"
+            ]
+            assert len(slash24_events) == 6
+            assert slash24_events[-1]["done"] == 6
+            assert slash24_events[-1]["total"] == 6
+            assert all("prefix" in r and "category" in r
+                       for r in slash24_events)
+            # Metrics snapshots interleave on the same stream.
+            assert any(r.get("kind") == "metrics" for r in records)
+            assert records[-1]["kind"] == "stream_end"
+            assert records[-1]["state"] == "done"
+
+            status = client.status(job_id)
+            assert status["state"] == "done"
+            assert status["attempts"] == 1
+            assert status["manifest"]["command"].startswith(
+                "service-worker"
+            )
+
+            payload = client.result(job_id)["result"]["payload"]
+            assert jobs.deterministic_payload(payload) == \
+                jobs.deterministic_payload(reference)
+
+            # Repeat submission: answered from the store, no worker.
+            again = client.submit(CAMPAIGN_SPEC)
+            assert again["state"] == "done"
+            assert again["warm"] is True
+            assert client.status(again["id"])["attempts"] == 0
+            warm_payload = client.result(again["id"])
+            assert warm_payload["result"]["payload"] == payload
+
+            counters = client.metrics()["metrics"]["counters"]
+            assert counters["service.jobs.warm"] == 1
+            assert counters["service.jobs.completed"] == 1
+            assert counters["service.stream.bytes"] > 0
+
+        # Bit-identity includes the store's per-/24 records: the
+        # daemon's store and the one-shot store hold identical
+        # measurement documents under identical fingerprint keys.
+        daemon_docs = slash24_documents(store)
+        reference_docs = slash24_documents(reference_store)
+        assert daemon_docs == reference_docs
+        assert len(daemon_docs) == 6
+
+    def test_cancel_mid_campaign_then_resume_bit_identically(
+        self, tmp_path
+    ):
+        store = tmp_path / "daemon-store"
+        reference_store = tmp_path / "reference-store"
+        reference = jobs.execute_spec(
+            jobs.normalize_spec(PACED_SPEC), str(reference_store)
+        )
+        with daemon_over(store) as (daemon, client):
+            job_id = client.submit(PACED_SPEC)["id"]
+            # Let at least one /24 checkpoint durably, then cancel.
+            wait_for_stream_events(store, job_id, "job.slash24")
+            cancelled = client.cancel(job_id)
+            assert cancelled["state"] == "cancelled"
+            deadline = time.monotonic() + 60
+            while client.status(job_id)["pid"] is not None:
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            status = client.status(job_id)
+            assert status["state"] == "cancelled"
+            partial = slash24_documents(store)
+            assert 0 < len(partial) < 8
+
+            resumed = client.resume(job_id)
+            assert resumed["state"] == "queued"
+            final = client.wait(job_id, timeout=120)
+            assert final["state"] == "done"
+            assert final["attempts"] == 2
+            payload = client.result(job_id)["result"]["payload"]
+            assert jobs.deterministic_payload(payload) == \
+                jobs.deterministic_payload(reference)
+            # The resumed attempt replayed the checkpointed prefix(es)
+            # from the store instead of re-probing them.
+            wait_for_stream_events(
+                store, job_id, "job.start", count=2, timeout=5
+            )
+            counters = client.metrics()["metrics"]["counters"]
+            assert counters["service.jobs.cancelled"] == 1
+            assert counters["service.jobs.resumed"] == 1
+        assert slash24_documents(store) == \
+            slash24_documents(reference_store)
+
+    def test_backpressure_rejects_submits_over_the_queue_bound(
+        self, tmp_path
+    ):
+        with daemon_over(
+            tmp_path / "store", max_queued=1, max_concurrent=1
+        ) as (daemon, client):
+            first = client.submit({"kind": "sleep", "seconds": 30})
+            deadline = time.monotonic() + 60
+            while client.status(first["id"])["state"] != "running":
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            second = client.submit({"kind": "sleep", "seconds": 31})
+            assert second["state"] == "queued"
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit({"kind": "sleep", "seconds": 32})
+            assert excinfo.value.status == 429
+            counters = client.metrics()["metrics"]["counters"]
+            assert counters["service.jobs.rejected"] == 1
+            assert client.metrics()["metrics"]["gauges"][
+                "service.queue.depth"
+            ] == 1
+            client.cancel(second["id"])
+            client.cancel(first["id"])
+            assert client.wait(first["id"], timeout=60)["state"] == \
+                "cancelled"
+
+
+class TestApiSurface:
+    def test_error_routes(self, tmp_path):
+        with daemon_over(tmp_path / "store") as (daemon, client):
+            with pytest.raises(ServiceError) as excinfo:
+                client.status("j424242")
+            assert excinfo.value.status == 404
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit({"kind": "nope"})
+            assert excinfo.value.status == 400
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit({**CAMPAIGN_SPEC, "turbo": True})
+            assert excinfo.value.status == 400
+            # result of a job that is not done answers 409
+            job_id = client.submit({"kind": "sleep", "seconds": 20})["id"]
+            with pytest.raises(ServiceError) as excinfo:
+                client.result(job_id)
+            assert excinfo.value.status == 409
+            client.cancel(job_id)
+            with pytest.raises(ServiceError) as excinfo:
+                client.cancel(job_id)  # already terminal
+            assert excinfo.value.status == 409
+            client.wait(job_id, timeout=60)
+
+    def test_healthz_jobs_listing_and_discovery_file(self, tmp_path):
+        import json
+        import os
+
+        store = tmp_path / "store"
+        with daemon_over(store) as (daemon, client):
+            health = client.healthz()
+            assert health["ok"] is True
+            assert health["max_concurrent"] >= 1
+            info_path = jobs.daemon_info_path(str(store))
+            with open(info_path, encoding="utf-8") as handle:
+                info = json.load(handle)
+            assert info["port"] == daemon.bound_port
+            assert info["pid"] == os.getpid()
+            job_id = client.submit({"kind": "sleep", "seconds": 0.1})["id"]
+            listed = client.jobs()
+            assert [job["id"] for job in listed] == [job_id]
+            client.wait(job_id, timeout=60)
+        # Graceful shutdown withdraws the advertisement.
+        assert not os.path.exists(jobs.daemon_info_path(str(store)))

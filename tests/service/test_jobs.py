@@ -1,0 +1,172 @@
+"""Job spec validation, fingerprints, executors, and job records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import jobs
+
+TINY_CAMPAIGN = {
+    "kind": "campaign", "profile": "tiny", "confidence": False,
+    "limit": 8,
+}
+
+
+class TestNormalizeSpec:
+    def test_defaults_filled_for_campaign(self):
+        spec = jobs.normalize_spec(TINY_CAMPAIGN)
+        assert spec["workers"] == 1
+        assert spec["seed"] is None
+        assert spec["pace_seconds"] == 0.0
+        assert spec["fresh"] is False
+        assert spec["max_destinations"] > 0  # the profile's cap
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(jobs.SpecError):
+            jobs.normalize_spec({"kind": "mystery"})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(jobs.SpecError, match="unknown spec keys"):
+            jobs.normalize_spec({**TINY_CAMPAIGN, "turbo": True})
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(jobs.SpecError, match="unknown profile"):
+            jobs.normalize_spec({"kind": "campaign", "profile": "huge"})
+
+    def test_bad_scalar_types_rejected(self):
+        with pytest.raises(jobs.SpecError):
+            jobs.normalize_spec({**TINY_CAMPAIGN, "limit": "ten"})
+        with pytest.raises(jobs.SpecError):
+            jobs.normalize_spec({**TINY_CAMPAIGN, "limit": 0})
+        with pytest.raises(jobs.SpecError):
+            jobs.normalize_spec({**TINY_CAMPAIGN, "confidence": "yes"})
+        with pytest.raises(jobs.SpecError):
+            jobs.normalize_spec({**TINY_CAMPAIGN, "pace_seconds": -1})
+
+    def test_experiment_spec_validates_ids(self):
+        spec = jobs.normalize_spec(
+            {"kind": "experiment", "profile": "tiny",
+             "experiments": ["table1"]}
+        )
+        assert spec["experiments"] == ["table1"]
+        with pytest.raises(jobs.SpecError, match="unknown experiment"):
+            jobs.normalize_spec(
+                {"kind": "experiment", "profile": "tiny",
+                 "experiments": ["tableX"]}
+            )
+
+    def test_experiment_all_expands_to_every_id(self):
+        from repro.experiments import experiment_ids
+
+        spec = jobs.normalize_spec(
+            {"kind": "experiment", "profile": "tiny",
+             "experiments": ["all"]}
+        )
+        assert spec["experiments"] == experiment_ids()
+
+    def test_sleep_bounds(self):
+        assert jobs.normalize_spec(
+            {"kind": "sleep", "seconds": 2}
+        )["seconds"] == 2.0
+        with pytest.raises(jobs.SpecError):
+            jobs.normalize_spec({"kind": "sleep", "seconds": -1})
+        with pytest.raises(jobs.SpecError):
+            jobs.normalize_spec({"kind": "sleep", "seconds": 10_000})
+
+
+class TestFingerprints:
+    def test_fingerprint_ignores_key_spelling_order(self):
+        a = jobs.normalize_spec(TINY_CAMPAIGN)
+        b = jobs.normalize_spec(
+            {"limit": 8, "confidence": False, "profile": "tiny",
+             "kind": "campaign", "workers": 1}
+        )
+        assert jobs.spec_fingerprint(a) == jobs.spec_fingerprint(b)
+
+    def test_fresh_flag_does_not_change_the_fingerprint(self):
+        a = jobs.normalize_spec(TINY_CAMPAIGN)
+        b = jobs.normalize_spec({**TINY_CAMPAIGN, "fresh": True})
+        assert jobs.spec_fingerprint(a) == jobs.spec_fingerprint(b)
+        assert jobs.result_key_for(a) == jobs.result_key_for(b)
+
+    def test_different_work_different_fingerprint(self):
+        a = jobs.normalize_spec(TINY_CAMPAIGN)
+        b = jobs.normalize_spec({**TINY_CAMPAIGN, "limit": 9})
+        assert jobs.spec_fingerprint(a) != jobs.spec_fingerprint(b)
+
+
+class TestExecuteCampaign:
+    def test_execution_is_deterministic_and_warm_replay_is_free(
+        self, tmp_path
+    ):
+        spec = jobs.normalize_spec(TINY_CAMPAIGN)
+        store = str(tmp_path / "store")
+        events = []
+        first = jobs.execute_spec(
+            spec, store,
+            on_measurement=lambda m, s, done, total: events.append(
+                (str(m.slash24), done, total)
+            ),
+        )
+        assert first["slash24s"] == 8
+        assert first["probes_used"] > 0
+        assert first["io"]["probes_sent"] > 0
+        assert len(events) == 8
+        assert events[-1][1:] == (8, 8)
+
+        second = jobs.execute_spec(spec, store)
+        assert jobs.deterministic_payload(first) == \
+            jobs.deterministic_payload(second)
+        # The warm replay never touched the simulated wire.
+        assert second["io"]["probes_sent"] == 0
+
+    def test_pace_slows_but_does_not_change_results(self, tmp_path):
+        spec = jobs.normalize_spec(
+            {"kind": "campaign", "profile": "tiny", "confidence": False,
+             "limit": 3, "pace_seconds": 0.01}
+        )
+        unpaced = jobs.normalize_spec(
+            {"kind": "campaign", "profile": "tiny", "confidence": False,
+             "limit": 3}
+        )
+        paced_payload = jobs.execute_spec(spec, str(tmp_path / "a"))
+        plain_payload = jobs.execute_spec(unpaced, str(tmp_path / "b"))
+        # pace_seconds is real-time throttling only: the virtual world
+        # (clock, probes, categories) is untouched, but the spec knob
+        # is part of the fingerprint so the two jobs cache separately.
+        assert paced_payload["clock_seconds"] == \
+            plain_payload["clock_seconds"]
+        assert paced_payload["probes_used"] == \
+            plain_payload["probes_used"]
+
+    def test_sleep_spec_executes(self):
+        spec = jobs.normalize_spec({"kind": "sleep", "seconds": 0.01})
+        payload = jobs.execute_spec(spec, None)
+        assert payload["kind"] == "sleep"
+
+
+class TestJobRecords:
+    def test_round_trip_and_id_allocation(self, tmp_path):
+        root = str(tmp_path)
+        spec = jobs.normalize_spec({"kind": "sleep", "seconds": 1})
+        record = jobs.JobRecord.create("j000001", spec)
+        jobs.save_job(root, record)
+        loaded = jobs.load_job(root, "j000001")
+        assert loaded is not None
+        assert loaded.to_dict() == record.to_dict()
+        assert jobs.next_job_id(root) == "j000002"
+        assert [r.id for r in jobs.list_jobs(root)] == ["j000001"]
+
+    def test_missing_job_loads_as_none(self, tmp_path):
+        assert jobs.load_job(str(tmp_path), "j999999") is None
+
+    def test_stream_append_interleaves_as_lines(self, tmp_path):
+        import json
+
+        root = str(tmp_path)
+        jobs.append_stream_record(root, "j1", {"kind": "job", "a": 1})
+        jobs.append_stream_record(root, "j1", {"kind": "job", "a": 2})
+        with open(jobs.stream_path(root, "j1"), encoding="utf-8") as fh:
+            lines = [json.loads(line) for line in fh]
+        assert [line["a"] for line in lines] == [1, 2]
+        assert all("ts" in line for line in lines)

@@ -1,0 +1,106 @@
+"""Graceful shutdown and restart-resume, end to end with real signals.
+
+The daemon here is a real ``hobbit-repro serve`` subprocess: SIGTERM
+must drain (checkpoint) the in-flight job, withdraw the discovery
+file, and exit 0; a fresh daemon over the same store must requeue the
+interrupted job and finish it bit-identically to a run that was never
+interrupted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import repro
+from repro.service import ServiceClient, jobs
+
+from .conftest import (
+    daemon_over,
+    slash24_documents,
+    wait_for_stream_events,
+)
+
+PACED_SPEC = {
+    "kind": "campaign", "profile": "tiny", "confidence": False,
+    "limit": 8, "pace_seconds": 0.4,
+}
+
+
+def spawn_serve(store_root: str) -> subprocess.Popen:
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)
+    ))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_root]
+        + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--store", store_root, "--port", "0"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+        stdin=subprocess.DEVNULL,
+    )
+
+
+def wait_for_daemon(store_root: str, timeout: float = 60.0) -> dict:
+    path = jobs.daemon_info_path(store_root)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                return json.load(handle)
+        time.sleep(0.05)
+    raise AssertionError("daemon never advertised")
+
+
+class TestGracefulShutdown:
+    def test_sigterm_checkpoints_job_and_restart_resumes_bit_identically(
+        self, tmp_path
+    ):
+        store = str(tmp_path / "store")
+        reference_store = str(tmp_path / "reference-store")
+        reference = jobs.execute_spec(
+            jobs.normalize_spec(PACED_SPEC), reference_store
+        )
+
+        proc = spawn_serve(store)
+        try:
+            info = wait_for_daemon(store)
+            client = ServiceClient(port=info["port"])
+            job_id = client.submit(PACED_SPEC)["id"]
+            # At least one /24 durably checkpointed before the kill.
+            wait_for_stream_events(store, job_id, "job.slash24")
+
+            proc.send_signal(signal.SIGTERM)
+            returncode = proc.wait(timeout=60)
+            assert returncode == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        # The advertisement is withdrawn and the job parked resumable.
+        assert not os.path.exists(jobs.daemon_info_path(store))
+        record = jobs.load_job(store, job_id)
+        assert record is not None
+        assert record.state == jobs.STATE_INTERRUPTED
+        assert 0 < len(slash24_documents(store)) < 8
+
+        # A fresh daemon over the same store requeues and finishes it.
+        with daemon_over(store) as (daemon, client):
+            final = client.wait(job_id, timeout=120)
+            assert final["state"] == "done"
+            assert final["attempts"] == 2
+            payload = client.result(job_id)["result"]["payload"]
+            assert jobs.deterministic_payload(payload) == \
+                jobs.deterministic_payload(reference)
+            counters = client.metrics()["metrics"]["counters"]
+            assert counters["service.jobs.resumed"] == 1
+        assert slash24_documents(store) == \
+            slash24_documents(reference_store)

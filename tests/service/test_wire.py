@@ -1,0 +1,111 @@
+"""HTTP framing unit tests: parsing, limits, response assembly."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import wire
+
+
+def parse(data: bytes):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await wire.read_request(reader)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+
+    def test_query_string_parsed_off_the_path(self):
+        request = parse(b"GET /jobs?state=done&n=3 HTTP/1.1\r\n\r\n")
+        assert request.path == "/jobs"
+        assert request.query == {"state": "done", "n": "3"}
+
+    def test_post_with_content_length_body(self):
+        body = json.dumps({"kind": "sleep"}).encode()
+        data = (
+            b"POST /jobs HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(data)
+        assert request.method == "POST"
+        assert request.json() == {"kind": "sleep"}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line_rejected(self):
+        with pytest.raises(wire.WireError) as excinfo:
+            parse(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_rejected_with_413(self):
+        data = (
+            b"POST /jobs HTTP/1.1\r\n"
+            b"Content-Length: 999999999\r\n\r\n"
+        )
+        with pytest.raises(wire.WireError) as excinfo:
+            parse(data)
+        assert excinfo.value.status == 413
+
+    def test_truncated_body_rejected(self):
+        data = b"POST /jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+        with pytest.raises(wire.WireError) as excinfo:
+            parse(data)
+        assert excinfo.value.status == 400
+
+    def test_too_many_headers_rejected(self):
+        headers = b"".join(
+            b"X-H%d: v\r\n" % i for i in range(wire.MAX_HEADER_LINES + 5)
+        )
+        with pytest.raises(wire.WireError):
+            parse(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+
+    def test_non_object_json_body_rejected(self):
+        request = parse(
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 2\r\n\r\n[]"
+        )
+        with pytest.raises(wire.WireError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+
+class TestResponses:
+    def test_json_response_is_parseable_and_close_delimited(self):
+        raw = wire.json_response(200, {"ok": True})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert b"Connection: close" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert json.loads(body) == {"ok": True}
+
+    def test_error_response_carries_status_in_body(self):
+        raw = wire.error_response(429, "queue full")
+        body = raw.partition(b"\r\n\r\n")[2]
+        document = json.loads(body)
+        assert document == {"error": "queue full", "status": 429}
+
+    def test_stream_head_has_no_content_length(self):
+        head = wire.response_head(
+            200, content_type="application/x-ndjson"
+        )
+        assert b"Content-Length" not in head
+        assert b"application/x-ndjson" in head
+
+    def test_ndjson_line_round_trips(self):
+        line = wire.ndjson_line({"kind": "event", "name": "x"})
+        assert line.endswith(b"\n")
+        assert json.loads(line) == {"kind": "event", "name": "x"}
