@@ -217,7 +217,8 @@ def main(argv=None):
     parser.add_argument(
         "--baseline", default=None, metavar="PATH",
         help="committed BENCH_campaign.json snapshot; exit non-zero if "
-        f"probes/sec regressed more than {REGRESSION_TOLERANCE:.0%}",
+        "probes/sec regressed more than "
+        f"{REGRESSION_TOLERANCE:.0%}".replace("%", "%%"),
     )
     args = parser.parse_args(argv)
 

@@ -8,19 +8,39 @@
    strategy (Section 6.5); evaluate the similarity rule (Section 6.6).
 5. Merge the clusters reprobing confirmed, producing the final block
    list.
+
+Two engines drive steps 1-2, selected by ``REPRO_AGGREGATION_ENGINE``
+(or the ``engine`` argument): ``columnar`` (default) groups identical
+sets with hashed numpy keys and builds the similarity graph as a sparse
+incidence Gram product; ``object`` is the retained dict-based reference
+path. Their outputs are identical — the golden suite in
+``tests/aggregation/test_columnar_aggregation.py`` enforces it — and
+inputs the columnar kernels cannot represent fall back to the object
+path automatically (``aggregation.fallback`` counter). Step 3 fans
+per-component MCL out over ``workers`` processes with a deterministic
+merge, so ``workers`` never changes results either.
 """
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from ..net.prefix import Prefix
 from ..netsim.internet import SimulatedInternet
+from ..obs.metrics import current_metrics
+from ..obs.trace import span, trace_warning
 from ..probing.zmap import ActivitySnapshot
 from .graph import WeightedGraph
-from .identical import AggregatedBlock, aggregate_identical, size_histogram
+from .identical import (
+    AggregatedBlock,
+    ColumnarAggregationUnsupported,
+    aggregate_identical,
+    group_identical_columnar,
+    size_histogram,
+)
 from .mcl import DEFAULT_INFLATION
 from .reprobe import (
     DEFAULT_MAX_PAIRS,
@@ -29,8 +49,29 @@ from .reprobe import (
     validate_cluster,
 )
 from .rules import SimilarityRule
-from .similarity import build_similarity_graph
-from .sweep import SweepOutcome, choose_inflation, run_mcl_on_components
+from .similarity import build_similarity_graph, build_similarity_graph_columnar
+from .sweep import (
+    SweepOutcome,
+    run_mcl_on_components,
+    sweep_and_cluster,
+)
+
+#: Environment variable selecting the aggregation engine: ``columnar``
+#: (default — hashed-key grouping plus the sparse incidence-matrix
+#: similarity builder) or ``object`` (the dict-based reference path).
+AGGREGATION_ENGINE_ENV = "REPRO_AGGREGATION_ENGINE"
+
+
+def aggregation_engine_name(override: Optional[str] = None) -> str:
+    """The configured aggregation engine (``columnar`` or ``object``)."""
+    value = (
+        override
+        if override is not None
+        else os.environ.get(AGGREGATION_ENGINE_ENV, "")
+    ).strip().lower()
+    if value in ("object", "reference"):
+        return "object"
+    return "columnar"
 
 
 @dataclass
@@ -54,6 +95,8 @@ class AggregationOutcome:
     #: Every reprobed /24 → (last-hop set, probes); feed back in as
     #: ``reprobe_preload`` to replay validation without re-probing.
     reprobe_records: Dict[Prefix, tuple] = field(default_factory=dict)
+    #: Which engine built the blocks and graph (``columnar``/``object``).
+    engine: str = "object"
 
     # -- summaries ---------------------------------------------------------
 
@@ -72,6 +115,32 @@ class AggregationOutcome:
         return len(self.identical_blocks) - len(self.final_blocks)
 
 
+def _build_graph(
+    lasthop_sets: Mapping[Prefix, FrozenSet[int]],
+    engine_name: str,
+) -> Tuple[List[AggregatedBlock], WeightedGraph, str]:
+    """Steps 1-2 under the requested engine, with columnar → object
+    fallback when the input cannot take the columnar representation."""
+    if engine_name == "columnar":
+        try:
+            cblocks = group_identical_columnar(lasthop_sets)
+            return (
+                cblocks.to_blocks(),
+                build_similarity_graph_columnar(cblocks),
+                "columnar",
+            )
+        except ColumnarAggregationUnsupported as error:
+            current_metrics().count("aggregation.fallback")
+            trace_warning(
+                "aggregation.fallback",
+                f"columnar aggregation unsupported ({error}); using the "
+                "object path — results are identical",
+                error=repr(error),
+            )
+    identical_blocks = aggregate_identical(lasthop_sets)
+    return identical_blocks, build_similarity_graph(identical_blocks), "object"
+
+
 def run_aggregation(
     lasthop_sets: Mapping[Prefix, FrozenSet[int]],
     internet: Optional[SimulatedInternet] = None,
@@ -82,6 +151,8 @@ def run_aggregation(
     rule: Optional[SimilarityRule] = None,
     seed: int = 0,
     reprobe_preload: Optional[Mapping[Prefix, tuple]] = None,
+    engine: Optional[str] = None,
+    workers: int = 1,
 ) -> AggregationOutcome:
     """Run the aggregation flow over measured last-hop sets.
 
@@ -89,56 +160,97 @@ def run_aggregation(
     True (reprobing goes back on the wire). With ``inflation`` unset the
     Section 6.4 sweep picks it. ``reprobe_preload`` replays recorded
     reprobe results (see :attr:`AggregationOutcome.reprobe_records`)
-    instead of probing, with identical accounting.
+    instead of probing, with identical accounting. ``engine`` overrides
+    ``REPRO_AGGREGATION_ENGINE``; ``workers`` parallelises the
+    per-component MCL runs (results are identical at any worker count).
     """
-    identical_blocks = aggregate_identical(lasthop_sets)
-    graph = build_similarity_graph(identical_blocks)
-    sweep_outcomes: List[SweepOutcome] = []
-    if inflation is None:
-        inflation, sweep_outcomes = choose_inflation(graph)
-        if not sweep_outcomes:
-            inflation = DEFAULT_INFLATION
-    clusters = run_mcl_on_components(graph, inflation)
-    outcome = AggregationOutcome(
-        identical_blocks=identical_blocks,
-        graph=graph,
-        inflation=inflation,
-        sweep_outcomes=sweep_outcomes,
-        clusters=clusters,
-    )
-    rule = rule or SimilarityRule()
-    multi_clusters = [
-        (index, cluster)
-        for index, cluster in enumerate(clusters)
-        if len(cluster) > 1
-    ]
-    for index, cluster in multi_clusters:
-        blocks = [identical_blocks[i] for i in cluster]
-        outcome.rule_matches[index] = rule.matches(blocks)
-
-    confirmed: Dict[int, List[int]] = {}
-    if validate and multi_clusters:
-        if internet is None or snapshot is None:
-            raise ValueError(
-                "validation requires the internet and the snapshot"
+    registry = current_metrics()
+    engine_name = aggregation_engine_name(engine)
+    with span(
+        "aggregation.run",
+        slash24s=len(lasthop_sets),
+        engine=engine_name,
+        workers=workers,
+    ):
+        with registry.time("phase.aggregate.graph"), span(
+            "aggregation.graph", engine=engine_name
+        ):
+            identical_blocks, graph, engine_name = _build_graph(
+                lasthop_sets, engine_name
             )
-        reprober = Reprober(
-            internet, snapshot, seed=seed, preload=reprobe_preload
+        registry.count(f"aggregation.engine.{engine_name}")
+        registry.gauge("aggregation.blocks", len(identical_blocks))
+        registry.gauge("aggregation.edges", graph.edge_count)
+
+        sweep_outcomes: List[SweepOutcome] = []
+        with registry.time("phase.aggregate.mcl"), span(
+            "aggregation.mcl", workers=workers
+        ):
+            registry.gauge(
+                "aggregation.components",
+                len(graph.connected_components()),
+            )
+            if inflation is None:
+                # One pass produces both the sweep outcomes and the
+                # chosen candidate's clusters (the historical flow
+                # re-ran MCL a seventh time for the winner).
+                inflation, sweep_outcomes, clusters = sweep_and_cluster(
+                    graph, workers=workers
+                )
+                if not sweep_outcomes:
+                    # Edgeless graph: every cluster is a singleton at
+                    # any inflation; report the paper default.
+                    inflation = DEFAULT_INFLATION
+            else:
+                clusters = run_mcl_on_components(
+                    graph, inflation, workers=workers
+                )
+        registry.gauge("aggregation.clusters", len(clusters))
+
+        outcome = AggregationOutcome(
+            identical_blocks=identical_blocks,
+            graph=graph,
+            inflation=inflation,
+            sweep_outcomes=sweep_outcomes,
+            clusters=clusters,
+            engine=engine_name,
         )
-        rng = random.Random(seed)
+        rule = rule or SimilarityRule()
+        multi_clusters = [
+            (index, cluster)
+            for index, cluster in enumerate(clusters)
+            if len(cluster) > 1
+        ]
         for index, cluster in multi_clusters:
             blocks = [identical_blocks[i] for i in cluster]
-            validation = validate_cluster(
-                reprober, index, blocks,
-                max_pairs=max_pairs_per_cluster, rng=rng,
-            )
-            outcome.validations.append(validation)
-            if validation.homogeneous:
-                confirmed[index] = cluster
-        outcome.reprobe_probes_used = reprober.probes_used
-        outcome.reprobe_records = reprober.records()
+            outcome.rule_matches[index] = rule.matches(blocks)
 
-    outcome.final_blocks = _merge_confirmed(identical_blocks, confirmed)
+        confirmed: Dict[int, List[int]] = {}
+        if validate and multi_clusters:
+            if internet is None or snapshot is None:
+                raise ValueError(
+                    "validation requires the internet and the snapshot"
+                )
+            with registry.time("phase.aggregate.reprobe"), span(
+                "aggregation.reprobe", clusters=len(multi_clusters)
+            ):
+                reprober = Reprober(
+                    internet, snapshot, seed=seed, preload=reprobe_preload
+                )
+                rng = random.Random(seed)
+                for index, cluster in multi_clusters:
+                    blocks = [identical_blocks[i] for i in cluster]
+                    validation = validate_cluster(
+                        reprober, index, blocks,
+                        max_pairs=max_pairs_per_cluster, rng=rng,
+                    )
+                    outcome.validations.append(validation)
+                    if validation.homogeneous:
+                        confirmed[index] = cluster
+                outcome.reprobe_probes_used = reprober.probes_used
+                outcome.reprobe_records = reprober.records()
+
+        outcome.final_blocks = _merge_confirmed(identical_blocks, confirmed)
     return outcome
 
 

@@ -4,19 +4,40 @@ The paper chooses the granularity parameter that minimises the fraction
 of intra-cluster edges whose weight falls below the median of all edge
 weights — clusters glued together by weak edges indicate the inflation
 is too coarse.
+
+Connected components are independent clustering problems (Section 6.3),
+so the sweep fans them out over worker processes: each component is
+column-normalised **once** (:func:`repro.aggregation.mcl.prepare_stochastic`)
+and that matrix is shared across all candidate inflations, the clusters
+and weak/total intra-cluster edge counts come back per candidate, and
+the parent folds them in component order — so serial and parallel runs
+produce identical clusters, sweep outcomes and metrics totals. When a
+worker pool cannot start, the sweep degrades to serial with an
+:class:`AggregationParallelFallbackWarning` (results identical); when
+the shared-matrix path fails on one component, that component alone
+falls back to independent per-candidate MCL runs.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
+import warnings
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry, current_metrics, metrics_scope
+from ..obs.trace import configure_tracing, trace_warning
 from .graph import WeightedGraph
-from .mcl import mcl
+from .mcl import mcl, mcl_from_stochastic, prepare_stochastic
 
 DEFAULT_CANDIDATES: Tuple[float, ...] = (1.4, 1.8, 2.0, 2.4, 3.0, 4.0)
+
+
+class AggregationParallelFallbackWarning(RuntimeWarning):
+    """Parallel per-component MCL degraded to a serial run."""
 
 
 @dataclass
@@ -30,60 +51,282 @@ def weak_intra_cluster_fraction(
     graph: WeightedGraph, clusters: List[List[int]], median_weight: float
 ) -> float:
     """Fraction of intra-cluster edges with weight below the median of
-    *all* edge weights."""
-    weak = 0
-    total = 0
-    cluster_of = {}
+    *all* edge weights.
+
+    Vectorised over the graph's edge arrays; vertices in no cluster
+    keep the fill label, so — as in the historical dict version — edges
+    between two unclustered vertices count as intra-cluster.
+    """
+    u, v, w = graph.edge_arrays()
+    if len(u) == 0:
+        return 0.0
+    labels = np.full(graph.vertex_count, -1, dtype=np.int64)
     for index, cluster in enumerate(clusters):
-        for vertex in cluster:
-            cluster_of[vertex] = index
-    for u, v, weight in graph.edges():
-        if cluster_of.get(u) == cluster_of.get(v):
-            total += 1
-            if weight < median_weight:
-                weak += 1
-    return weak / total if total else 0.0
+        labels[cluster] = index
+    intra = labels[u] == labels[v]
+    total = int(np.count_nonzero(intra))
+    if total == 0:
+        return 0.0
+    weak = int(np.count_nonzero(w[intra] < median_weight))
+    return weak / total
+
+
+# -- per-component clustering ------------------------------------------
+
+#: One component's work order: (original vertex ids, adjacency CSR or
+#: None for singletons, local edge u/v/weight arrays).
+_ComponentTask = Tuple[
+    List[int],
+    Optional[object],
+    Optional[np.ndarray],
+    Optional[np.ndarray],
+    Optional[np.ndarray],
+]
+
+#: One component's result: per candidate, (clusters in original vertex
+#: ids, weak intra-cluster edge count, total intra-cluster edge count).
+_ComponentResult = List[Tuple[List[List[int]], int, int]]
+
+
+def _component_tasks(graph: WeightedGraph) -> List[_ComponentTask]:
+    tasks: List[_ComponentTask] = []
+    for component in graph.connected_components():
+        if len(component) == 1:
+            tasks.append((component, None, None, None, None))
+            continue
+        subgraph, original_ids = graph.subgraph(component)
+        local_u, local_v, local_w = subgraph.edge_arrays()
+        tasks.append(
+            (original_ids, subgraph.to_sparse(), local_u, local_v, local_w)
+        )
+    return tasks
+
+
+def _cluster_component(
+    task: _ComponentTask,
+    candidates: Tuple[float, ...],
+    median_weight: Optional[float],
+) -> _ComponentResult:
+    """Cluster one component at every candidate inflation.
+
+    Normalises the component matrix once and reuses it across
+    candidates; on failure of that shared path the component falls back
+    to an independent :func:`mcl` run per candidate (same arithmetic,
+    so identical clusters) and is counted in
+    ``aggregation.component_fallback``.
+    """
+    original_ids, adjacency, local_u, local_v, local_w = task
+    if adjacency is None:
+        return [([list(original_ids)], 0, 0) for _ in candidates]
+    try:
+        stochastic = prepare_stochastic(adjacency)
+        per_candidate = [
+            mcl_from_stochastic(stochastic, inflation=inflation).clusters
+            for inflation in candidates
+        ]
+    except Exception as error:  # the FastPathUnsupported-style escape
+        current_metrics().count("aggregation.component_fallback")
+        trace_warning(
+            "aggregation.component_fallback",
+            f"shared-stochastic sweep failed on a "
+            f"{len(original_ids)}-vertex component; re-running each "
+            f"candidate independently",
+            vertices=len(original_ids),
+            error=repr(error),
+        )
+        per_candidate = [
+            mcl(adjacency, inflation=inflation).clusters
+            for inflation in candidates
+        ]
+    ids = np.asarray(original_ids, dtype=np.int64)
+    result: _ComponentResult = []
+    for clusters in per_candidate:
+        remapped = [
+            sorted(int(ids[i]) for i in cluster) for cluster in clusters
+        ]
+        if median_weight is None:
+            result.append((remapped, 0, 0))
+            continue
+        labels = np.full(len(ids), -1, dtype=np.int64)
+        for index, cluster in enumerate(clusters):
+            labels[cluster] = index
+        intra = labels[local_u] == labels[local_v]
+        total = int(np.count_nonzero(intra))
+        weak = int(np.count_nonzero(local_w[intra] < median_weight))
+        result.append((remapped, weak, total))
+    return result
+
+
+def _pool_initializer() -> None:
+    # Workers never write the parent's trace journal: concurrent appends
+    # from several processes would interleave.
+    configure_tracing(None)
+
+
+def _component_worker(
+    args: Tuple[_ComponentTask, Tuple[float, ...], Optional[float]],
+) -> Tuple[_ComponentResult, dict]:
+    """Pool entry point: cluster one component under a private metrics
+    registry and ship the registry home with the result, so the parent's
+    merged totals match a serial run exactly."""
+    task, candidates, median_weight = args
+    registry = MetricsRegistry()
+    with metrics_scope(registry):
+        result = _cluster_component(task, candidates, median_weight)
+    return result, registry.to_dict()
+
+
+def _note_parallel_fallback(error: BaseException, reason: str) -> None:
+    registry = current_metrics()
+    message = (
+        f"parallel aggregation unavailable ({reason}): {error!r}; "
+        "continuing serially — results are identical, but the requested "
+        "parallel speedup was not applied"
+    )
+    warnings.warn(AggregationParallelFallbackWarning(message), stacklevel=4)
+    registry.count("aggregation.parallel_fallback")
+    registry.count(f"aggregation.parallel_fallback.{reason}")
+    trace_warning(
+        "aggregation.parallel_fallback",
+        message,
+        reason=reason,
+        error=repr(error),
+    )
+
+
+def _run_component_tasks(
+    tasks: List[_ComponentTask],
+    candidates: Tuple[float, ...],
+    median_weight: Optional[float],
+    workers: int,
+) -> List[_ComponentResult]:
+    """Run every component task, in parallel when asked and possible.
+
+    Results always come back in task (= component) order, so downstream
+    concatenation is deterministic regardless of worker count.
+    """
+    if workers > 1 and len(tasks) > 1:
+        try:
+            context = multiprocessing.get_context(
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            with context.Pool(
+                processes=min(workers, len(tasks)),
+                initializer=_pool_initializer,
+            ) as pool:
+                packed = pool.map(
+                    _component_worker,
+                    [(task, candidates, median_weight) for task in tasks],
+                )
+        except (OSError, pickle.PicklingError) as error:
+            _note_parallel_fallback(error, "pool_failure")
+        else:
+            registry = current_metrics()
+            registry.count("aggregation.parallel")
+            results: List[_ComponentResult] = []
+            for result, worker_metrics in packed:
+                registry.merge(MetricsRegistry.from_dict(worker_metrics))
+                results.append(result)
+            return results
+    return [
+        _cluster_component(task, candidates, median_weight)
+        for task in tasks
+    ]
+
+
+# -- public entry points ------------------------------------------------
 
 
 def run_mcl_on_components(
-    graph: WeightedGraph, inflation: float
+    graph: WeightedGraph, inflation: float, workers: int = 1
 ) -> List[List[int]]:
     """Split into connected components and run MCL on each (Section
     6.3's preprocessing), returning clusters in original vertex ids."""
+    results = _run_component_tasks(
+        _component_tasks(graph), (float(inflation),), None, workers
+    )
     clusters: List[List[int]] = []
-    for component in graph.connected_components():
-        if len(component) == 1:
-            clusters.append(component)
-            continue
-        subgraph, original_ids = graph.subgraph(component)
-        result = mcl(subgraph.to_sparse(), inflation=inflation)
-        for cluster in result.clusters:
-            clusters.append(sorted(original_ids[i] for i in cluster))
+    for result in results:
+        clusters.extend(result[0][0])
     return clusters
+
+
+def sweep_and_cluster(
+    graph: WeightedGraph,
+    candidates: Sequence[float] = DEFAULT_CANDIDATES,
+    workers: int = 1,
+) -> Tuple[float, List[SweepOutcome], List[List[int]]]:
+    """Sweep candidates and return (best inflation, outcomes, the best
+    candidate's clusters).
+
+    Each component is clustered once per candidate; the chosen
+    inflation's clusters are returned directly instead of being
+    recomputed by a final :func:`run_mcl_on_components` pass (MCL is
+    deterministic, so they are the same clusters the re-run would
+    produce). Ties prefer the smaller (coarser) inflation, which
+    aggregates more.
+    """
+    weights = graph.edge_arrays()[2]
+    if len(weights) == 0:
+        return (
+            float(candidates[0]),
+            [],
+            run_mcl_on_components(graph, candidates[0], workers=workers),
+        )
+    median_weight = float(np.median(weights))
+    results = _run_component_tasks(
+        _component_tasks(graph),
+        tuple(float(c) for c in candidates),
+        median_weight,
+        workers,
+    )
+    outcomes: List[SweepOutcome] = []
+    clusters_per_candidate: List[List[List[int]]] = []
+    for position, inflation in enumerate(candidates):
+        clusters: List[List[int]] = []
+        weak = 0
+        total = 0
+        for result in results:
+            component_clusters, component_weak, component_total = result[
+                position
+            ]
+            clusters.extend(component_clusters)
+            weak += component_weak
+            total += component_total
+        outcomes.append(
+            SweepOutcome(
+                inflation=float(inflation),
+                weak_edge_fraction=weak / total if total else 0.0,
+                cluster_count=len(clusters),
+            )
+        )
+        clusters_per_candidate.append(clusters)
+    best = min(
+        range(len(outcomes)),
+        key=lambda i: (
+            outcomes[i].weak_edge_fraction,
+            outcomes[i].inflation,
+        ),
+    )
+    return (
+        outcomes[best].inflation,
+        outcomes,
+        clusters_per_candidate[best],
+    )
 
 
 def choose_inflation(
     graph: WeightedGraph,
     candidates: Sequence[float] = DEFAULT_CANDIDATES,
+    workers: int = 1,
 ) -> Tuple[float, List[SweepOutcome]]:
     """Sweep candidates; return (best inflation, all outcomes).
 
     Ties prefer the smaller (coarser) inflation, which aggregates more.
     """
-    weights = graph.edge_weights()
-    if not weights:
-        return (candidates[0], [])
-    median_weight = float(np.median(weights))
-    outcomes: List[SweepOutcome] = []
-    for inflation in candidates:
-        clusters = run_mcl_on_components(graph, inflation)
-        fraction = weak_intra_cluster_fraction(graph, clusters, median_weight)
-        outcomes.append(
-            SweepOutcome(
-                inflation=inflation,
-                weak_edge_fraction=fraction,
-                cluster_count=len(clusters),
-            )
-        )
-    best = min(outcomes, key=lambda o: (o.weak_edge_fraction, o.inflation))
-    return (best.inflation, outcomes)
+    inflation, outcomes, _ = sweep_and_cluster(
+        graph, candidates, workers=workers
+    )
+    return (inflation, outcomes)

@@ -326,9 +326,17 @@ def _finish_trace(
     """Close the journal and write the per-run ``run.json`` manifest."""
     if trace_path is None:
         return
+    from .aggregation import aggregation_engine_name
+    from .core.fastengine import campaign_engine_name
     from .netsim.routing import reference_engine_enabled
 
     internet = workspace._internet
+    engines = {
+        "engines": {
+            "campaign": campaign_engine_name(),
+            "aggregation": aggregation_engine_name(),
+        },
+    }
     document = build_manifest(
         command=command,
         profile=workspace.profile.name,
@@ -341,7 +349,7 @@ def _finish_trace(
         trace_path=os.path.abspath(trace_path),
         registry=current_metrics(),
         internet_stats=internet.stats() if internet is not None else None,
-        extra=extra,
+        extra={**engines, **(extra or {})},
     )
     manifest_path = write_run_manifest(
         manifest_path_for(trace_path), document

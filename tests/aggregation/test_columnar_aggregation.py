@@ -1,0 +1,428 @@
+"""Golden equivalence suite: the columnar aggregation engine against
+the object reference path.
+
+The columnar engine's contract is bit-identical outputs — same blocks,
+same similarity graph, same sweep choices, same clusters, same reprobe
+inputs and validations — at any worker count. These tests enforce that
+on synthetic inputs, on a real tiny-profile campaign, and on the edge
+cases (empty input, all-empty sets, singletons, all-identical sets,
+disjoint groups)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.aggregation import (
+    AggregationParallelFallbackWarning,
+    ColumnarAggregationUnsupported,
+    WeightedGraph,
+    aggregate_identical,
+    aggregate_identical_columnar,
+    aggregation_engine_name,
+    build_similarity_graph,
+    build_similarity_graph_columnar,
+    choose_inflation,
+    group_identical_columnar,
+    mcl,
+    mcl_from_stochastic,
+    pairwise_similarities,
+    prepare_stochastic,
+    run_aggregation,
+    run_mcl_on_components,
+    similarity,
+    sweep_and_cluster,
+    weak_intra_cluster_fraction,
+)
+from repro.aggregation import identical as identical_mod
+from repro.aggregation import sweep as sweep_mod
+from repro.aggregation.pipeline import AGGREGATION_ENGINE_ENV
+from repro.net import Prefix
+
+
+def s24(n: int) -> Prefix:
+    return Prefix(0x0A000000 + n * 256, 24)
+
+
+def synthetic_sets(seed: int, count: int = 400, routers: int = 50, groups: int = 1):
+    """Random last-hop sets with plenty of identical-set and
+    partial-overlap structure (some empty sets included).
+
+    With ``groups`` > 1 the router space is partitioned, so the
+    similarity graph splits into at least that many connected
+    components — the shape the parallel fan-out needs."""
+    rng = random.Random(seed)
+    sets = {}
+    for n in range(count):
+        k = rng.randint(0, 5)
+        base = (n % groups) * routers
+        sets[s24(n)] = (
+            frozenset(rng.sample(range(base + 1, base + routers), k))
+            if k
+            else frozenset()
+        )
+    return sets
+
+
+EDGE_CASES = {
+    "empty_mapping": {},
+    "all_empty_sets": {s24(n): frozenset() for n in range(5)},
+    "singleton": {s24(0): frozenset({7})},
+    "all_identical": {s24(n): frozenset({1, 2, 3}) for n in range(6)},
+    "disjoint_groups": {
+        s24(n): frozenset({n % 3 * 10, n % 3 * 10 + 1}) for n in range(9)
+    },
+}
+
+
+def outputs(outcome):
+    return (
+        outcome.identical_blocks,
+        outcome.inflation,
+        outcome.sweep_outcomes,
+        outcome.clusters,
+        outcome.rule_matches,
+        outcome.final_blocks,
+    )
+
+
+class TestIdenticalGrouping:
+    def test_synthetic_equivalence(self):
+        sets = synthetic_sets(3)
+        assert aggregate_identical_columnar(sets) == aggregate_identical(sets)
+
+    @pytest.mark.parametrize("name", sorted(EDGE_CASES))
+    def test_edge_cases(self, name):
+        sets = EDGE_CASES[name]
+        assert aggregate_identical_columnar(sets) == aggregate_identical(sets)
+
+    def test_columnar_blocks_layout(self):
+        sets = synthetic_sets(4, count=60)
+        cblocks = group_identical_columnar(sets)
+        blocks = aggregate_identical(sets)
+        assert cblocks.block_count == len(blocks)
+        assert cblocks.sizes.tolist() == [b.size for b in blocks]
+        assert cblocks.lasthop_sizes.tolist() == [
+            len(b.lasthop_set) for b in blocks
+        ]
+        # Member and last-hop runs are ascending within each block.
+        for i in range(cblocks.block_count):
+            members = cblocks.member_nets[
+                cblocks.member_lo[i]:cblocks.member_hi[i]
+            ]
+            lasthops = cblocks.lh_pool[cblocks.lh_lo[i]:cblocks.lh_hi[i]]
+            assert (np.diff(members.astype(np.int64)) > 0).all()
+            assert (np.diff(lasthops.astype(np.int64)) > 0).all()
+
+    def test_hash_collisions_never_merge_sets(self, monkeypatch):
+        # Degrade the hash to a constant: every same-size set collides,
+        # so grouping correctness rests entirely on bucket verification.
+        monkeypatch.setattr(
+            identical_mod,
+            "_splitmix64",
+            lambda values: np.zeros(len(values), dtype=np.uint64),
+        )
+        sets = synthetic_sets(5, count=200)
+        assert aggregate_identical_columnar(sets) == aggregate_identical(sets)
+
+    def test_non_slash24_keys_unsupported(self):
+        with pytest.raises(ColumnarAggregationUnsupported):
+            group_identical_columnar({Prefix(0, 16): frozenset({1})})
+
+    def test_out_of_range_routers_unsupported(self):
+        with pytest.raises(ColumnarAggregationUnsupported):
+            group_identical_columnar({s24(0): frozenset({1 << 33})})
+
+
+class TestSimilarityGraph:
+    def test_graph_equivalence(self):
+        sets = synthetic_sets(6)
+        blocks = aggregate_identical(sets)
+        reference = build_similarity_graph(blocks)
+        columnar = build_similarity_graph_columnar(
+            group_identical_columnar(sets)
+        )
+        ru, rv, rw = reference.edge_arrays()
+        cu, cv, cw = columnar.edge_arrays()
+        assert (ru == cu).all() and (rv == cv).all()
+        assert (rw == cw).all()  # bit-identical weights
+        assert reference.vertex_count == columnar.vertex_count
+
+    @pytest.mark.parametrize("name", sorted(EDGE_CASES))
+    def test_edge_cases(self, name):
+        sets = EDGE_CASES[name]
+        reference = build_similarity_graph(aggregate_identical(sets))
+        columnar = build_similarity_graph_columnar(
+            group_identical_columnar(sets)
+        )
+        assert reference.vertex_count == columnar.vertex_count
+        assert list(reference.edges()) == list(columnar.edges())
+
+    def test_pairwise_similarities_matches_scalar(self):
+        sets = synthetic_sets(7, count=40)
+        blocks = aggregate_identical(sets)
+        expected = [
+            similarity(a.lasthop_set, b.lasthop_set)
+            for i, a in enumerate(blocks)
+            for b in blocks[i + 1:]
+        ]
+        assert pairwise_similarities(blocks) == expected
+
+    def test_pairwise_similarities_empty_sets(self):
+        blocks = aggregate_identical({s24(0): frozenset({1})})
+        block = blocks[0]
+        empty = type(block)(
+            block_id=1, lasthop_set=frozenset(), slash24s=(s24(1),)
+        )
+        assert pairwise_similarities([block, empty]) == [0.0]
+        assert pairwise_similarities([empty, empty]) == [0.0]
+        assert pairwise_similarities([block]) == []
+
+
+class TestGraphBackend:
+    def test_overwrite_semantics(self):
+        graph = WeightedGraph(4)
+        graph.add_edge(0, 1, 0.5)
+        assert graph.weight(0, 1) == 0.5  # finalize staged edges
+        graph.add_edge(1, 0, 0.25)  # re-add after a read, reversed
+        assert graph.weight(0, 1) == 0.25
+        assert graph.edge_count == 1
+
+    def test_to_sparse_is_shared_and_symmetric(self):
+        graph = WeightedGraph(3)
+        graph.add_edge(0, 1, 0.5)
+        graph.add_edge(1, 2, 0.75)
+        matrix = graph.to_sparse()
+        assert matrix is graph.to_sparse()  # no per-call copy
+        dense = matrix.toarray()
+        assert (dense == dense.T).all()
+        assert dense[0, 1] == 0.5 and dense[1, 2] == 0.75
+
+    def test_connected_components_ordering(self):
+        # Historical DFS contract: components ordered by smallest
+        # member, members ascending, singletons included.
+        graph = WeightedGraph(7)
+        graph.add_edge(5, 2, 1.0)
+        graph.add_edge(6, 0, 1.0)
+        graph.add_edge(4, 1, 1.0)
+        assert graph.connected_components() == [
+            [0, 6], [1, 4], [2, 5], [3],
+        ]
+
+    def test_from_edge_arrays_validation(self):
+        u = np.array([0]); v = np.array([0]); w = np.array([1.0])
+        with pytest.raises(ValueError):
+            WeightedGraph.from_edge_arrays(2, u, v, w)
+        with pytest.raises(ValueError):
+            WeightedGraph.from_edge_arrays(
+                2, np.array([0]), np.array([1]), np.array([0.0])
+            )
+        with pytest.raises(ValueError):
+            WeightedGraph.from_edge_arrays(
+                2, np.array([0]), np.array([5]), np.array([1.0])
+            )
+
+    def test_subgraph_matches_weights(self):
+        sets = synthetic_sets(8, count=120)
+        graph = build_similarity_graph(aggregate_identical(sets))
+        component = graph.connected_components()[0]
+        subgraph, original = graph.subgraph(component)
+        assert original == component
+        for i, u in enumerate(original):
+            for j, v in enumerate(original):
+                if i < j:
+                    assert subgraph.weight(i, j) == graph.weight(u, v)
+
+
+class TestWeakFraction:
+    def test_matches_loop_reference(self):
+        sets = synthetic_sets(9)
+        graph = build_similarity_graph(aggregate_identical(sets))
+        clusters = run_mcl_on_components(graph, 2.0)
+        weights = graph.edge_weights()
+        median = float(np.median(weights))
+        # The pre-vectorisation dict-based computation, verbatim.
+        cluster_of = {}
+        for index, cluster in enumerate(clusters):
+            for vertex in cluster:
+                cluster_of[vertex] = index
+        weak = total = 0
+        for u, v, weight in graph.edges():
+            if cluster_of.get(u) == cluster_of.get(v):
+                total += 1
+                if weight < median:
+                    weak += 1
+        expected = weak / total if total else 0.0
+        assert weak_intra_cluster_fraction(graph, clusters, median) == expected
+
+    def test_unclustered_vertices_count_as_intra(self):
+        graph = WeightedGraph(4)
+        graph.add_edge(0, 1, 0.2)
+        graph.add_edge(2, 3, 0.9)
+        # Only vertices 2, 3 are clustered; 0-1 joins as unclustered.
+        fraction = weak_intra_cluster_fraction(graph, [[2, 3]], 0.5)
+        assert fraction == 0.5
+
+
+class TestSweepAndCluster:
+    def test_matches_serial_primitives(self):
+        sets = synthetic_sets(10)
+        graph = build_similarity_graph(aggregate_identical(sets))
+        inflation, outcomes = choose_inflation(graph)
+        swept_inflation, swept_outcomes, clusters = sweep_and_cluster(graph)
+        assert swept_inflation == inflation
+        assert swept_outcomes == outcomes
+        assert clusters == run_mcl_on_components(graph, inflation)
+
+    def test_workers_do_not_change_results(self):
+        sets = synthetic_sets(11, groups=4)
+        graph = build_similarity_graph(aggregate_identical(sets))
+        assert len(graph.connected_components()) > 1
+        serial = sweep_and_cluster(graph, workers=1)
+        parallel = sweep_and_cluster(graph, workers=2)
+        assert serial == parallel
+
+    def test_pool_failure_falls_back_serially(self, monkeypatch):
+        sets = synthetic_sets(12, groups=4)
+        graph = build_similarity_graph(aggregate_identical(sets))
+        expected = sweep_and_cluster(graph, workers=1)
+
+        def broken_context(_method):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(
+            sweep_mod.multiprocessing, "get_context", broken_context
+        )
+        with pytest.warns(AggregationParallelFallbackWarning):
+            degraded = sweep_and_cluster(graph, workers=2)
+        assert degraded == expected
+
+    def test_shared_stochastic_matches_independent_mcl(self):
+        sets = synthetic_sets(13, count=80)
+        graph = build_similarity_graph(aggregate_identical(sets))
+        component = max(graph.connected_components(), key=len)
+        subgraph, _ = graph.subgraph(component)
+        adjacency = subgraph.to_sparse()
+        stochastic = prepare_stochastic(adjacency)
+        before = stochastic.toarray().copy()
+        for inflation in (1.4, 2.0, 4.0):
+            shared = mcl_from_stochastic(stochastic, inflation=inflation)
+            independent = mcl(adjacency, inflation=inflation)
+            assert shared.clusters == independent.clusters
+            assert shared.iterations == independent.iterations
+        # The shared matrix is never mutated by a run.
+        assert (stochastic.toarray() == before).all()
+
+
+class TestEngineGate:
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.delenv(AGGREGATION_ENGINE_ENV, raising=False)
+        assert aggregation_engine_name() == "columnar"
+        monkeypatch.setenv(AGGREGATION_ENGINE_ENV, "object")
+        assert aggregation_engine_name() == "object"
+        monkeypatch.setenv(AGGREGATION_ENGINE_ENV, "reference")
+        assert aggregation_engine_name() == "object"
+        monkeypatch.setenv(AGGREGATION_ENGINE_ENV, "columnar")
+        assert aggregation_engine_name() == "columnar"
+        assert aggregation_engine_name("object") == "object"
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_engines_identical_synthetic(self, workers):
+        sets = synthetic_sets(14, groups=3)
+        reference = run_aggregation(sets, validate=False, engine="object")
+        columnar = run_aggregation(
+            sets, validate=False, engine="columnar", workers=workers
+        )
+        assert outputs(reference) == outputs(columnar)
+        assert reference.engine == "object"
+        assert columnar.engine == "columnar"
+
+    @pytest.mark.parametrize("name", sorted(EDGE_CASES))
+    def test_engines_identical_edge_cases(self, name):
+        sets = EDGE_CASES[name]
+        reference = run_aggregation(sets, validate=False, engine="object")
+        columnar = run_aggregation(sets, validate=False, engine="columnar")
+        assert outputs(reference) == outputs(columnar)
+
+    def test_unsupported_input_falls_back_to_object(self):
+        sets = {Prefix(0, 16): frozenset({1}), Prefix(1 << 16, 16): frozenset({1})}
+        outcome = run_aggregation(sets, validate=False, engine="columnar")
+        assert outcome.engine == "object"
+        assert outputs(outcome) == outputs(
+            run_aggregation(sets, validate=False, engine="object")
+        )
+
+
+class TestFullPipelineGolden:
+    """Columnar vs object on a real tiny-profile campaign, with
+    validation reprobing: identical everything, including the reprobe
+    inputs and probe accounting."""
+
+    @pytest.fixture(scope="class")
+    def campaign_inputs(self):
+        from repro.core import TerminationPolicy, run_campaign
+        from repro.probing import scan
+
+        def build():
+            from repro.netsim import SimulatedInternet, tiny_scenario
+
+            internet = SimulatedInternet.from_config(tiny_scenario(seed=7))
+            snapshot = scan(internet)
+            campaign = run_campaign(
+                internet,
+                TerminationPolicy(),
+                slash24s=snapshot.eligible_slash24s()[:120],
+                snapshot=snapshot,
+                seed=2,
+                max_destinations_per_slash24=48,
+            )
+            return internet, snapshot, campaign.lasthop_sets()
+
+        return build
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_validated_runs_identical(self, campaign_inputs, workers):
+        results = []
+        for engine in ("object", "columnar"):
+            # Fresh deterministic internet per engine: validation
+            # reprobes mutate simulator state, so each engine gets an
+            # identical untouched copy.
+            internet, snapshot, lasthop_sets = campaign_inputs()
+            outcome = run_aggregation(
+                lasthop_sets,
+                internet=internet,
+                snapshot=snapshot,
+                max_pairs_per_cluster=16,
+                seed=4,
+                engine=engine,
+                workers=workers,
+            )
+            results.append(outcome)
+        reference, columnar = results
+        assert outputs(reference) == outputs(columnar)
+        assert reference.validations == columnar.validations
+        assert reference.reprobe_records == columnar.reprobe_records
+        assert reference.reprobe_probes_used == columnar.reprobe_probes_used
+
+    def test_preload_replay_identical(self, campaign_inputs):
+        internet, snapshot, lasthop_sets = campaign_inputs()
+        live = run_aggregation(
+            lasthop_sets,
+            internet=internet,
+            snapshot=snapshot,
+            max_pairs_per_cluster=16,
+            seed=4,
+            engine="columnar",
+        )
+        internet2, snapshot2, _ = campaign_inputs()
+        replayed = run_aggregation(
+            lasthop_sets,
+            internet=internet2,
+            snapshot=snapshot2,
+            max_pairs_per_cluster=16,
+            seed=4,
+            engine="columnar",
+            reprobe_preload=live.reprobe_records,
+        )
+        assert outputs(live) == outputs(replayed)
+        assert live.reprobe_probes_used == replayed.reprobe_probes_used
