@@ -91,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_argument(run_parser)
     _add_store_argument(run_parser)
     _add_trace_argument(run_parser)
+    _add_events_argument(run_parser)
 
     scenario_parser = subparsers.add_parser(
         "scenario", help="describe the profile's scenario and ground truth"
@@ -286,6 +287,34 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _events_intensity(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a number; expected an intensity in [0, 1]"
+        ) from None
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is outside [0, 1]"
+        )
+    return value
+
+
+def _add_events_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--events",
+        type=_events_intensity,
+        default=None,
+        metavar="INTENSITY",
+        help=(
+            "dynamic-internet event intensity in [0, 1]: renumbering "
+            "waves, routing shifts, outages and rate-limit storms "
+            "(default: $REPRO_EVENTS or 0/off)"
+        ),
+    )
+
+
 def _add_store_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store",
@@ -371,9 +400,12 @@ def command_run(
     workers: Optional[int] = None,
     store: Optional[str] = None,
     trace: Optional[str] = None,
+    events: Optional[float] = None,
 ) -> int:
     trace_path = _configure_trace(trace)
-    workspace = get_workspace(profile, workers=workers, store_path=store)
+    workspace = get_workspace(
+        profile, workers=workers, store_path=store, event_intensity=events
+    )
     chosen = experiment_ids() if ids == ["all"] else ids
     failures = 0
     documents = []
@@ -838,7 +870,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "run":
             return command_run(
                 args.experiments, args.profile, args.json, args.workers,
-                args.store, args.trace,
+                args.store, args.trace, args.events,
             )
         if args.command == "scenario":
             return command_scenario(args.profile)

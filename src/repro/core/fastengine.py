@@ -139,11 +139,11 @@ class _DstProgram:
 
     __slots__ = (
         "slots", "length", "observed_ttl",
-        "density", "stability", "sleep_p", "up_epoch", "allocated",
+        "density", "stability", "sleep_p", "up_epoch", "allocated", "pod",
     )
 
     def __init__(self, slots, length, observed_ttl,
-                 density, stability, sleep_p, allocated):
+                 density, stability, sleep_p, allocated, pod=None):
         self.slots = slots
         self.length = length
         self.observed_ttl = observed_ttl
@@ -153,6 +153,9 @@ class _DstProgram:
         #: Memoized (epoch, up) availability of this destination.
         self.up_epoch: Optional[Tuple[int, bool]] = None
         self.allocated = allocated
+        #: The destination's pod — only consulted when a dynamic-event
+        #: schedule is active (outage windows, renumbering keys).
+        self.pod = pod
 
 
 class FastCampaignEngine:
@@ -362,7 +365,7 @@ class FastCampaignEngine:
         return _DstProgram(
             tuple(slots), length, observed_ttl,
             pod.host_density, pod.host_stability, pod.sleep_probability,
-            True,
+            True, pod,
         )
 
     # -- measurement ------------------------------------------------------
@@ -395,6 +398,8 @@ class FastCampaignEngine:
         floor = math.floor
         sm = splitmix64
         mask = MASK64
+        #: Dynamic-event schedule (None in the common, event-free case).
+        events = internet.events
 
         result = Slash24Measurement(
             slash24=slash24, category=Category.TOO_FEW_ACTIVE
@@ -451,11 +456,21 @@ class FastCampaignEngine:
                         state = [limiter.capacity, 0.0]
                         limiters[id(limiter)] = state
                     tokens = state[0]
+                    # Mirror RateLimiter.allow arithmetic-for-arithmetic,
+                    # including the storm-scaled capacity/rate and clamp.
+                    capacity = limiter.capacity
+                    rate = limiter.rate_per_second
+                    if events is not None:
+                        scale = events.storm_scale(address, clock)
+                        if scale != 1.0:
+                            capacity = capacity * scale
+                            rate = rate * scale
+                            if tokens > capacity:
+                                tokens = capacity
                     if clock > state[1]:
                         tokens = min(
-                            limiter.capacity,
-                            tokens
-                            + (clock - state[1]) * limiter.rate_per_second,
+                            capacity,
+                            tokens + (clock - state[1]) * rate,
                         )
                         state[1] = clock
                     if tokens >= 1.0:
@@ -471,13 +486,21 @@ class FastCampaignEngine:
                 answered += 1
                 ttl_exceeded += 1
                 return address
+            if events is not None and events.outage_active(prog.pod, clock):
+                return None
             epoch = floor(clock / epoch_seconds)
             memo = prog.up_epoch
             if memo is not None and memo[0] == epoch:
                 up = memo[1]
             else:
+                # Renumbering keys availability on the subscriber identity
+                # (canonical address), so the memo stays valid per epoch:
+                # the key depends only on (pod, dst, epoch).
+                key = dst
+                if events is not None:
+                    key = events.availability_key(prog.pod, dst, epoch)
                 up = host_up(
-                    host_seed, dst, epoch,
+                    host_seed, key, epoch,
                     prog.density, prog.stability, prog.sleep_p,
                 )
                 prog.up_epoch = (epoch, up)

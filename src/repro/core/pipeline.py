@@ -40,6 +40,11 @@ from ..obs.progress import ProgressReporter, progress_enabled
 from ..obs.trace import configure_tracing, span, trace_event, trace_warning
 from ..probing.session import ProbeBudgetExceeded, Prober, ProbeStats
 from ..probing.zmap import ActivitySnapshot, scan
+from ..util.envknobs import (
+    kill_after_for_worker,
+    parse_kill_spec,
+    positive_float_env,
+)
 from ..util.hashing import mix, stable_string_hash
 from .classifier import Category, Slash24Measurement, measure_slash24
 from .columnar import ColumnarCampaignResult, result_format_name
@@ -207,9 +212,19 @@ def _measure_in_context(
             return engine.measure(
                 policy, slash24, snapshot_active, rng, max_destinations
             )
-        except FastPathUnsupported:
+        except FastPathUnsupported as unsupported:
             # The engine touched no simulator state; re-pin the context
             # and let the object path measure this /24 from scratch.
+            # Loudly: a fallback is correct but slower, and a campaign
+            # that silently degrades per-/24 is invisible in benchmarks.
+            current_metrics().count("campaign.fastpath_fallback")
+            trace_warning(
+                "campaign.fastpath_fallback",
+                f"compiled engine declined {slash24}; measured on the "
+                "object path (identical result, slower)",
+                prefix=str(slash24),
+                reason=str(unsupported),
+            )
             internet.begin_measurement_context(
                 clock_seconds=clock_base,
                 nonce=slash24_nonce(campaign_seed, slash24),
@@ -267,17 +282,13 @@ _LEASE_KILL_ENV = "REPRO_LEASE_KILL"
 
 
 def _parse_kill_spec(spec: Optional[str], worker_index: int) -> Optional[int]:
-    """Checkpoint count after which *this* worker self-destructs."""
-    if not spec:
-        return None
-    for entry in spec.split(","):
-        index_text, _, count_text = entry.partition(":")
-        try:
-            if int(index_text) == worker_index:
-                return max(1, int(count_text))
-        except ValueError:
-            continue
-    return None
+    """Checkpoint count after which *this* worker self-destructs.
+
+    Malformed specs raise :class:`repro.util.envknobs.EnvKnobError`
+    (naming the variable) rather than silently disarming the fault
+    injection they were supposed to switch on.
+    """
+    return kill_after_for_worker(spec, worker_index, name=_LEASE_KILL_ENV)
 
 
 def _fold_measurement_metrics(
@@ -334,6 +345,11 @@ def _lease_worker_main(
         internet.probe_seconds, internet.probe_batches,
         internet.batched_probes,
     )
+    events_base = (
+        internet.events.counter_snapshot()
+        if internet.events is not None
+        else None
+    )
     checkpoints = claims = steals = 0
     with MeasurementStore(store_root, fsync=fsync) as store, LeaseLedger(
         store_root, campaign, ttl=ttl, fsync=fsync
@@ -387,12 +403,21 @@ def _lease_worker_main(
                     os.kill(os.getpid(), 9)
             if completed:
                 ledger.mark_done(claim)
+        event_attrs = {}
+        if events_base is not None:
+            event_attrs = {
+                f"events_{name}": delta
+                for name, delta in internet.events.counter_deltas(
+                    events_base
+                ).items()
+            }
         ledger.record_exit(
             worker_id, generation,
             engine_seconds=internet.probe_seconds - base[0],
             engine_batches=internet.probe_batches - base[1],
             engine_batched=internet.batched_probes - base[2],
             claims=claims, steals=steals, checkpoints=checkpoints,
+            **event_attrs,
         )
 
 
@@ -566,7 +591,12 @@ def _run_shards_parallel(
         [(str(p), snapshot.active_in(p)) for p in slash24s[index::batch_count]]
         for index in range(batch_count)
     ]
-    ttl = float(os.environ.get(_LEASE_TTL_ENV, DEFAULT_TTL_SECONDS))
+    # Validate the operational knobs here, in the parent, before any
+    # worker forks: a malformed value raises one clear EnvKnobError
+    # instead of killing workers at startup (which would look like an
+    # ordinary worker death and silently disarm fault injection).
+    parse_kill_spec(os.environ.get(_LEASE_KILL_ENV), name=_LEASE_KILL_ENV)
+    ttl = positive_float_env(_LEASE_TTL_ENV, DEFAULT_TTL_SECONDS)
     ledger = LeaseLedger(store_root, campaign, ttl=ttl, fsync=fsync)
     worker_ids = [f"w{os.getpid()}.{index}" for index in range(worker_count)]
     procs: List[multiprocessing.Process] = []
@@ -662,6 +692,7 @@ def _run_shards_parallel(
         exits = state.exits if state is not None else {}
         engine_seconds, engine_batches, engine_batched = takeover_deltas
         lost = 0
+        event_deltas: Dict[str, int] = {}
         for worker_id in worker_ids:
             exit_info = exits.get(worker_id)
             if exit_info is None:
@@ -670,6 +701,16 @@ def _run_shards_parallel(
             engine_seconds += float(exit_info.get("engine_seconds", 0.0))
             engine_batches += int(exit_info.get("engine_batches", 0))
             engine_batched += int(exit_info.get("engine_batched", 0))
+            for attr, value in exit_info.items():
+                if attr.startswith("events_"):
+                    name = attr[len("events_"):]
+                    event_deltas[name] = event_deltas.get(name, 0) + int(value)
+        if event_deltas and internet.events is not None:
+            # The workers probed pickled copies of the simulator; fold
+            # their event activity back so the parent's schedule counts
+            # the whole campaign (SIGKILLed workers lose their deltas,
+            # like engine timing — diagnostics only).
+            internet.events.add_counter_deltas(event_deltas)
         counts = state.counts() if state is not None else {}
         shard_metrics.count(
             "campaign.parallel.lease.batches", counts.get("batches", 0)
@@ -833,6 +874,19 @@ def _run_campaign_observed(
     result_format: str = "object",
     on_measurement=None,
 ) -> CampaignResult:
+    # Routing shifts land between the snapshot and the campaign's first
+    # probe — before the clock base and the worker payload are taken, so
+    # serial, parallel and resumed runs all probe the same shifted FIBs
+    # (the application itself is idempotent and deterministic).
+    if internet.events is not None:
+        rerouted = internet.apply_event_reroutes()
+        if rerouted:
+            trace_event("campaign.event_reroutes", pods=rerouted)
+    events_base = (
+        internet.events.counter_snapshot()
+        if internet.events is not None
+        else None
+    )
     clock_base = internet.clock_seconds
     engine_base = (
         internet.probe_count, internet.probe_seconds,
@@ -979,6 +1033,13 @@ def _run_campaign_observed(
     if cache_base is not None:
         registry.count("campaign.store.hits", cache.hits - cache_base[0])
         registry.count("campaign.store.misses", cache.misses - cache_base[1])
+    if events_base is not None:
+        # Per-campaign dynamic-event activity (workers' deltas were
+        # already folded back into the parent schedule).
+        for name, delta in sorted(
+            internet.events.counter_deltas(events_base).items()
+        ):
+            registry.count(f"events.{name}", delta)
     if progress is not None:
         progress.finish(probes=stats.sent)
 

@@ -20,6 +20,7 @@ classification experiments is pure re-analysis with zero probing.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import random
 from dataclasses import dataclass
@@ -38,6 +39,7 @@ from ..core import (
 from ..core.heterogeneity import SubBlockAnalysis, analyze_sub_blocks
 from ..net.prefix import Prefix
 from ..netsim import (
+    EventConfig,
     ScenarioConfig,
     SimulatedInternet,
     paper_scenario,
@@ -47,6 +49,7 @@ from ..obs.metrics import current_metrics
 from ..obs.trace import span
 from ..probing import ActivitySnapshot, Prober, enumerate_paths, scan
 from ..probing.traceroute import Route
+from ..util.envknobs import event_intensity_env
 from ..util.hashing import mix, stable_string_hash
 from ..util.tables import render_table
 
@@ -130,6 +133,7 @@ PROFILES: Dict[str, Profile] = {
 DEFAULT_PROFILE_ENV = "REPRO_PROFILE"
 DEFAULT_WORKERS_ENV = "REPRO_WORKERS"
 DEFAULT_STORE_ENV = "REPRO_STORE"
+DEFAULT_EVENTS_ENV = "REPRO_EVENTS"
 
 
 def active_profile_name() -> str:
@@ -139,6 +143,12 @@ def active_profile_name() -> str:
 def active_store_path() -> Optional[str]:
     """Persistent store directory: ``REPRO_STORE`` (default: none)."""
     return os.environ.get(DEFAULT_STORE_ENV) or None
+
+
+def active_event_intensity() -> Optional[float]:
+    """Dynamic-internet event intensity: ``REPRO_EVENTS`` in [0, 1]
+    (default: unset → events off; raises EnvKnobError on junk)."""
+    return event_intensity_env(DEFAULT_EVENTS_ENV)
 
 
 def active_worker_count() -> int:
@@ -161,6 +171,7 @@ class Workspace:
         profile: Profile,
         workers: Optional[int] = None,
         store_path: Optional[str] = None,
+        event_intensity: Optional[float] = None,
     ) -> None:
         self.profile = profile
         #: Worker processes for the measurement campaign and the
@@ -169,6 +180,13 @@ class Workspace:
         #: Persistent-store directory (None → in-process caching only).
         self.store_path = (
             store_path if store_path is not None else active_store_path()
+        )
+        #: Dynamic-internet event intensity in [0, 1]; None/0 → the
+        #: scenario's (static) default — pay-for-what-you-use.
+        self.event_intensity = (
+            event_intensity
+            if event_intensity is not None
+            else active_event_intensity()
         )
         self._store = None
         self._internet: Optional[SimulatedInternet] = None
@@ -207,11 +225,18 @@ class Workspace:
 
     def scenario_config(self) -> ScenarioConfig:
         if self.profile.use_tiny_scenario:
-            return tiny_scenario(seed=self.profile.scenario_seed)
-        return paper_scenario(
-            scale=self.profile.scenario_scale,
-            seed=self.profile.scenario_seed,
-        )
+            config = tiny_scenario(seed=self.profile.scenario_seed)
+        else:
+            config = paper_scenario(
+                scale=self.profile.scenario_scale,
+                seed=self.profile.scenario_seed,
+            )
+        if self.event_intensity:
+            config = dataclasses.replace(
+                config,
+                events=EventConfig.at_intensity(self.event_intensity),
+            )
+        return config
 
     @property
     def internet(self) -> SimulatedInternet:
@@ -637,21 +662,38 @@ def get_workspace(
     profile_name: Optional[str] = None,
     workers: Optional[int] = None,
     store_path: Optional[str] = None,
+    event_intensity: Optional[float] = None,
 ) -> Workspace:
     """The shared workspace for a profile (built once per process).
 
     ``workers`` overrides the campaign worker count; safe to change on
     a cached workspace because results are worker-count-invariant.
     ``store_path`` attaches a persistent measurement store; it only
-    affects artifacts not yet built in this process."""
+    affects artifacts not yet built in this process.
+    ``event_intensity`` selects the dynamic-internet stress level; it
+    changes the scenario itself, so asking a cached workspace for a
+    different intensity discards it and builds fresh."""
     name = profile_name or active_profile_name()
     if name not in PROFILES:
         raise KeyError(
             f"unknown profile {name!r}; choose from {sorted(PROFILES)}"
         )
-    if name not in _WORKSPACES:
+    resolved_intensity = (
+        event_intensity
+        if event_intensity is not None
+        else active_event_intensity()
+    )
+    cached = _WORKSPACES.get(name)
+    if cached is not None and (
+        (cached.event_intensity or 0.0) != (resolved_intensity or 0.0)
+    ):
+        cached.close()
+        del _WORKSPACES[name]
+        cached = None
+    if cached is None:
         _WORKSPACES[name] = Workspace(
-            PROFILES[name], workers=workers, store_path=store_path
+            PROFILES[name], workers=workers, store_path=store_path,
+            event_intensity=resolved_intensity,
         )
     else:
         if workers is not None:

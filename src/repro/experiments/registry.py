@@ -9,6 +9,7 @@ from . import (
     ablation_termination,
     ablation_vantage,
     dhcp,
+    dynamics,
     fig3,
     fig4,
     fig5,
@@ -61,6 +62,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "ablation-mcl": ablation_mcl.run,
     "ablation-vantage": ablation_vantage.run,
     "sensitivity": sensitivity.run,
+    "dynamics": dynamics.run,
 }
 
 

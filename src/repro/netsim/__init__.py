@@ -7,12 +7,14 @@ from .build import BuiltScenario, build_scenario
 from .config import (
     BigPodSpec,
     DiamondSpec,
+    EventConfig,
     OrgSpec,
     ScenarioConfig,
     paper_scenario,
     small_scenario,
     tiny_scenario,
 )
+from .events import EventSchedule, build_event_schedule
 from .geodb import GeoDatabase, GeoRecord
 from .groundtruth import GroundTruth, TrueBlock
 from .icmp import (
@@ -34,6 +36,8 @@ __all__ = [
     "BigPodSpec",
     "BuiltScenario",
     "DiamondSpec",
+    "EventConfig",
+    "EventSchedule",
     "Fib",
     "Forwarder",
     "ForwardingError",
@@ -58,6 +62,7 @@ __all__ = [
     "TrueBlock",
     "WhoisRecord",
     "WhoisService",
+    "build_event_schedule",
     "build_scenario",
     "infer_default_ttl",
     "infer_hop_count",

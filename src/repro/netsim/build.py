@@ -123,6 +123,8 @@ class BuiltScenario:
     host_seed: int
     loss_seed: int
     rtt_seed: int
+    #: Seed stream for the dynamic-event schedule (``netsim.events``).
+    event_seed: int = 0
 
 
 def build_scenario(config: ScenarioConfig) -> BuiltScenario:
@@ -239,6 +241,7 @@ class _Builder:
             host_seed=self.seeds.seed("hosts"),
             loss_seed=self.seeds.seed("loss"),
             rtt_seed=self.seeds.seed("rtt"),
+            event_seed=self.seeds.seed("events"),
         )
 
     # -- per organization -------------------------------------------------

@@ -127,6 +127,64 @@ class OrgSpec:
 
 
 @dataclass(frozen=True)
+class EventConfig:
+    """Mid-campaign dynamics: the internet refuses to hold still.
+
+    Every knob is an *intensity* — the fraction of eligible pods (or,
+    for storms, of campaign wall-clock) subject to the stressor. All
+    zeros (the default) disables the event engine entirely: no schedule
+    object is built and every probe path stays byte-identical to a
+    build without this class (events are pay-for-what-you-use).
+
+    Event selection and phases derive from the scenario seed (via the
+    ``"events"`` seed stream) and the virtual clock only, so serial,
+    parallel and resumed campaigns see identical dynamics.
+    """
+
+    #: Fraction of whole-/24 pods whose subscribers renumber between
+    #: the snapshot scan and the probing campaign (DHCP lease roll).
+    renumber_fraction: float = 0.0
+    #: Fraction of pods whose metro route is re-pointed to a different
+    #: last-hop router set before the campaign starts.
+    reroute_fraction: float = 0.0
+    #: Fraction of pods that suffer periodic regional outages (hosts
+    #: stop answering; routers still do).
+    outage_fraction: float = 0.0
+    #: Outage recurrence period and on-fraction within each period.
+    outage_period_seconds: float = 8.0
+    outage_duty: float = 0.25
+    #: Fraction of campaign time spent inside ICMP rate-limit storms
+    #: (token buckets temporarily shrunk to ``storm_factor``).
+    storm_duty: float = 0.0
+    storm_period_seconds: float = 4.0
+    storm_factor: float = 0.1
+
+    @property
+    def enabled(self) -> bool:
+        """True when any stressor has nonzero intensity."""
+        return (
+            self.renumber_fraction > 0.0
+            or self.reroute_fraction > 0.0
+            or self.outage_fraction > 0.0
+            or self.storm_duty > 0.0
+        )
+
+    @classmethod
+    def at_intensity(cls, intensity: float) -> "EventConfig":
+        """All four stressors dialed to one scalar in [0, 1] — the
+        shape behind the ``REPRO_EVENTS`` / ``--events`` knob."""
+        if intensity <= 0.0:
+            return cls()
+        level = min(1.0, intensity)
+        return cls(
+            renumber_fraction=level,
+            reroute_fraction=level * 0.5,
+            outage_fraction=level * 0.5,
+            storm_duty=level * 0.5,
+        )
+
+
+@dataclass(frozen=True)
 class ScenarioConfig:
     """Global scenario parameters plus the org list."""
 
@@ -168,6 +226,8 @@ class ScenarioConfig:
     snapshot_epoch: int = -1
     # -- vantage --
     vantage_address_text: str = "200.0.0.1"
+    # -- mid-campaign dynamics (all-zero default: engine disabled) --
+    events: EventConfig = EventConfig()
 
     def total_slash24s(self) -> int:
         return sum(org.num_slash24s for org in self.orgs)

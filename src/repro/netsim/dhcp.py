@@ -82,13 +82,33 @@ class PodLeaseMap:
         offset = (addr & 0xFF) ^ self._offset_mask
         return index * 256 + offset
 
+    def canonical_address(self, addr: int) -> Optional[int]:
+        """The lease-0-layout address of the identity currently holding
+        ``addr`` (None outside the pod's whole /24s).
+
+        Addresses from different leases compare equal under this map
+        exactly when the same subscriber holds them — the stable key
+        the event engine uses to make host availability follow
+        identities through renumbering waves."""
+        identity = self.identity_of(addr)
+        if identity is None:
+            return None
+        index, offset = divmod(identity, 256)
+        return self._slash24s[index].network | offset
+
 
 def renumbered_address(
     pod: Pod, addr: int, old_epoch: int, new_epoch: int
 ) -> Optional[int]:
     """Where the subscriber holding ``addr`` at ``old_epoch`` lives at
-    ``new_epoch`` (None if the address is not in the pod's /24s, or the
-    lease has not changed — the address is then unchanged)."""
+    ``new_epoch``.
+
+    Returns None only when ``addr`` is outside the pod's whole /24s
+    (no identity to follow). When the two epochs fall in the same
+    lease — or the lease bijections happen to coincide — the *same*
+    address is returned, not None: callers can rely on always getting
+    the subscriber's current address back and must not treat an
+    unchanged lease as "address gone"."""
     old_lease = lease_of_epoch(old_epoch)
     new_lease = lease_of_epoch(new_epoch)
     old_map = PodLeaseMap(pod, old_lease)

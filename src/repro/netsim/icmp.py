@@ -93,13 +93,23 @@ class RateLimiter:
         self._tokens = float(capacity)
         self._last_time = 0.0
 
-    def allow(self, now_seconds: float) -> bool:
-        """Consume a token at time ``now_seconds``; False if exhausted."""
+    def allow(self, now_seconds: float, scale: float = 1.0) -> bool:
+        """Consume a token at time ``now_seconds``; False if exhausted.
+
+        ``scale`` temporarily multiplies both capacity and refill rate
+        (rate-limit storms shrink it below 1.0). The ``scale == 1.0``
+        path is arithmetic-for-arithmetic the pre-storm code, so
+        storm-free runs stay bit-identical."""
+        capacity = self.capacity
+        rate = self.rate_per_second
+        if scale != 1.0:
+            capacity = capacity * scale
+            rate = rate * scale
+            if self._tokens > capacity:
+                self._tokens = capacity
         if now_seconds > self._last_time:
             elapsed = now_seconds - self._last_time
-            self._tokens = min(
-                self.capacity, self._tokens + elapsed * self.rate_per_second
-            )
+            self._tokens = min(capacity, self._tokens + elapsed * rate)
             self._last_time = now_seconds
         if self._tokens >= 1.0:
             self._tokens -= 1.0

@@ -35,6 +35,7 @@ from . import hosts as hostmod
 from .allocation import Allocation, Pod
 from .build import BuiltScenario, build_scenario
 from .config import ScenarioConfig
+from .events import EventSchedule, build_event_schedule
 from .geodb import GeoDatabase
 from .groundtruth import GroundTruth
 from .icmp import IcmpReply, ReplyKind, stochastic_loss, stochastic_loss_np
@@ -85,6 +86,9 @@ class SimulatedInternet:
         self.probe_batches: int = 0
         self.batched_probes: int = 0
         self._radio = CellularRadioTracker()
+        #: Dynamic-event schedule, or None when every event knob is at
+        #: zero intensity (the probe paths then skip all event checks).
+        self.events: Optional[EventSchedule] = build_event_schedule(built)
         self._nonce = 0
         #: Rate limiters that consumed tokens since the last context
         #: switch (kept small so context resets stay O(touched)).
@@ -235,7 +239,15 @@ class SimulatedInternet:
             return None
         if router.rate_limiter is not None:
             self._touched_limiters.add(router.rate_limiter)
-            if not router.rate_limiter.allow(self.clock_seconds):
+            events = self.events
+            if events is not None:
+                allowed = router.rate_limiter.allow(
+                    self.clock_seconds,
+                    events.storm_scale(router.address, self.clock_seconds),
+                )
+            else:
+                allowed = router.rate_limiter.allow(self.clock_seconds)
+            if not allowed:
                 return None
         if stochastic_loss(
             self._built.loss_seed, nonce, self.config.router_loss_probability
@@ -250,8 +262,14 @@ class SimulatedInternet:
     ) -> Optional[IcmpReply]:
         pod = allocation.pod
         epoch = self.current_epoch
+        events = self.events
+        availability_key = dst
+        if events is not None:
+            if events.outage_active(pod, self.clock_seconds):
+                return None
+            availability_key = events.availability_key(pod, dst, epoch)
         if not hostmod.host_up_in_epoch(
-            self._built.host_seed, dst, epoch, pod.host_density,
+            self._built.host_seed, availability_key, epoch, pod.host_density,
             pod.host_stability, pod.sleep_probability,
         ):
             return None
@@ -397,13 +415,23 @@ class SimulatedInternet:
                 config.router_loss_probability,
             ).tolist()
             reply_ttl = max(0, 255 - ttl)
+            events = self.events
             for position, (index, path) in enumerate(router_probes):
                 router = path[ttl - 1]
                 if not router.responds_to_ttl_exceeded:
                     continue
                 if router.rate_limiter is not None:
                     self._touched_limiters.add(router.rate_limiter)
-                    if not router.rate_limiter.allow(clocks[index]):
+                    if events is not None:
+                        allowed = router.rate_limiter.allow(
+                            clocks[index],
+                            events.storm_scale(
+                                router.address, clocks[index]
+                            ),
+                        )
+                    else:
+                        allowed = router.rate_limiter.allow(clocks[index])
+                    if not allowed:
                         continue
                 if lost[position]:
                     continue
@@ -436,10 +464,33 @@ class SimulatedInternet:
             [dsts[index] for index, _, _ in host_probes], dtype=np.uint64
         )
         # Availability draws group by (pod parameters, probe epoch) —
-        # a batch can straddle an epoch boundary mid-flight.
+        # a batch can straddle an epoch boundary mid-flight. With an
+        # event schedule, the availability draw is keyed by the
+        # subscriber's canonical address (renumbering pods) and outage
+        # windows suppress the draw entirely; both replicate the scalar
+        # path decision for decision.
+        events = self.events
+        if events is None:
+            key_addrs = addrs
+        else:
+            keys: List[int] = []
+            for position, (index, allocation, _) in enumerate(host_probes):
+                pod = allocation.pod
+                if events.outage_active(pod, clocks[index]):
+                    keys.append(-1)
+                    continue
+                epoch = math.floor(clocks[index] / epoch_seconds)
+                keys.append(
+                    events.availability_key(pod, dsts[index], epoch)
+                )
+            key_addrs = np.array(
+                [key if key >= 0 else 0 for key in keys], dtype=np.uint64
+            )
         up = [False] * len(host_probes)
         groups: Dict[tuple, List[int]] = {}
         for position, (index, allocation, _) in enumerate(host_probes):
+            if events is not None and keys[position] < 0:
+                continue
             pod = allocation.pod
             epoch = math.floor(clocks[index] / epoch_seconds)
             key = (
@@ -449,7 +500,7 @@ class SimulatedInternet:
             groups.setdefault(key, []).append(position)
         for (density, stability, sleep_p, epoch), members in groups.items():
             mask = hostmod.hosts_up_in_epoch_np(
-                built.host_seed, addrs[members], epoch,
+                built.host_seed, key_addrs[members], epoch,
                 density, stability, sleep_p,
             ).tolist()
             for position, is_up in zip(members, mask):
@@ -517,8 +568,13 @@ class SimulatedInternet:
         if epoch is None:
             epoch = self.current_epoch
         pod = allocation.pod
+        availability_key = (
+            self.events.availability_key(pod, addr, epoch)
+            if self.events is not None
+            else addr
+        )
         return hostmod.host_up_in_epoch(
-            self._built.host_seed, addr, epoch, pod.host_density,
+            self._built.host_seed, availability_key, epoch, pod.host_density,
             pod.host_stability, pod.sleep_probability,
         )
 
@@ -538,8 +594,15 @@ class SimulatedInternet:
                 ordered = False
             previous_last = last
             addrs = np.arange(first, last + 1, dtype=np.uint64)
+            key_addrs = (
+                self.events.availability_keys_np(
+                    allocation.pod, addrs, epoch
+                )
+                if self.events is not None
+                else addrs
+            )
             mask = hostmod.hosts_up_in_epoch_np(
-                self._built.host_seed, addrs, epoch,
+                self._built.host_seed, key_addrs, epoch,
                 allocation.pod.host_density, allocation.pod.host_stability,
                 allocation.pod.sleep_probability,
             )
@@ -547,6 +610,27 @@ class SimulatedInternet:
         # allocations_within walks the trie in address order, so the
         # concatenation is already sorted unless spans overlapped.
         return result if ordered else sorted(result)
+
+    # -- dynamic events ------------------------------------------------------
+
+    def apply_event_reroutes(self) -> int:
+        """Apply the schedule's one-shot routing shifts (idempotent).
+
+        Returns the number of pods whose metro routes changed. On any
+        change the forwarder's compiled state, path cache and this
+        internet's propagation cache are invalidated, so the object,
+        batched and compiled engines all resolve through the shifted
+        FIBs from the next probe on. Campaign executors call this at
+        campaign entry — the shift lands between the snapshot scan and
+        the probing, which is the race being modelled."""
+        if self.events is None:
+            return 0
+        changed = self.events.apply_reroutes(self._built)
+        if changed:
+            self.forwarder._reset_compiled_state()
+            self.forwarder._path_cache.clear()
+            self._prop_cache.clear()
+        return changed
 
     # -- naming -------------------------------------------------------------
 
@@ -623,10 +707,21 @@ class SimulatedInternet:
         )
         registry.gauge(f"{prefix}.forwarder_cache", self.forwarder.cache_size)
         registry.gauge(f"{prefix}.clock_seconds", self.clock_seconds)
+        if self.events is not None:
+            for name, value in sorted(self.events.counters.items()):
+                registry.count(f"events.{name}", value)
 
     def stats(self) -> Dict[str, float]:
         forwarder = self.forwarder.cache_stats()
+        if self.events is not None:
+            events_stats = {
+                f"events_{name}": value
+                for name, value in sorted(self.events.counters.items())
+            }
+        else:
+            events_stats = {}
         return {
+            **events_stats,
             "probe_count": self.probe_count,
             "clock_seconds": self.clock_seconds,
             "routers": len(self.topology),

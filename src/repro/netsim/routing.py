@@ -106,6 +106,10 @@ class Fib:
         match = trie.lookup(dst)
         return match[1] if match else None
 
+    def entry_for(self, prefix: Prefix) -> Optional[RouteEntry]:
+        """The entry installed for exactly ``prefix`` (no LPM)."""
+        return self._entries.get(prefix)
+
     def leaf_intervals(self) -> List[Tuple[int, Optional[RouteEntry]]]:
         """The table flattened into sorted LPM breakpoints (see
         :meth:`repro.net.trie.PrefixTrie.leaf_intervals`)."""

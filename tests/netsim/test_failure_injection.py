@@ -6,7 +6,12 @@ import dataclasses
 import pytest
 
 from repro.core import Category, TerminationPolicy, run_campaign
-from repro.netsim import ScenarioConfig, SimulatedInternet, tiny_scenario
+from repro.netsim import (
+    EventConfig,
+    ScenarioConfig,
+    SimulatedInternet,
+    tiny_scenario,
+)
 from repro.netsim.config import OrgSpec
 from repro.netsim.orgs import OrgType
 from repro.probing import Prober, identify_lasthops, paris_traceroute, scan
@@ -150,3 +155,136 @@ class TestExtremeScale:
         # The halving fallback keeps identification working even when
         # every host uses an uncommon default TTL.
         assert usable >= 4
+
+
+# -- dynamic-internet stressors (repro.netsim.events) -------------------------
+
+
+def _events_config(events, **org_overrides):
+    return dataclasses.replace(
+        _one_org_config(**org_overrides), events=events
+    )
+
+
+class TestRenumberingWave:
+    def test_full_wave_campaign_completes(self):
+        config = _events_config(EventConfig(renumber_fraction=1.0))
+        internet = SimulatedInternet.from_config(config)
+        assert internet.events is not None
+        snapshot = scan(internet)
+        campaign = run_campaign(
+            internet, TerminationPolicy(),
+            slash24s=snapshot.eligible_slash24s()[:10],
+            snapshot=snapshot, seed=1, max_destinations_per_slash24=16,
+        )
+        assert campaign.total == 10
+        assert internet.events.renumbering_pod_count > 0
+
+    def test_wave_changes_outcomes_vs_static(self):
+        """The wave must actually bite: the stressed world's snapshot or
+        campaign outcomes differ from the static world's."""
+        static = SimulatedInternet.from_config(_one_org_config())
+        waved = SimulatedInternet.from_config(
+            _events_config(EventConfig(renumber_fraction=1.0))
+        )
+        static_snap, waved_snap = scan(static), scan(waved)
+        static_run = run_campaign(
+            static, TerminationPolicy(),
+            slash24s=static_snap.eligible_slash24s()[:10],
+            snapshot=static_snap, seed=1, max_destinations_per_slash24=16,
+        )
+        waved_run = run_campaign(
+            waved, TerminationPolicy(),
+            slash24s=waved_snap.eligible_slash24s()[:10],
+            snapshot=waved_snap, seed=1, max_destinations_per_slash24=16,
+        )
+        assert (
+            static_run.category_counts() != waved_run.category_counts()
+            or static_snap.total_active != waved_snap.total_active
+            or waved.events.counters["renumber"] > 0
+        )
+
+
+class TestTotalOutage:
+    def test_permanent_outage_degrades_gracefully(self):
+        """outage_duty=1.0 keeps selected pods dark for every probe:
+        the snapshot collapses instead of the campaign crashing."""
+        config = _events_config(
+            EventConfig(outage_fraction=1.0, outage_duty=1.0)
+        )
+        internet = SimulatedInternet.from_config(config)
+        snapshot = scan(internet)
+        campaign = run_campaign(
+            internet, TerminationPolicy(),
+            slash24s=snapshot.eligible_slash24s()[:10],
+            snapshot=snapshot, seed=1, max_destinations_per_slash24=16,
+        )
+        assert campaign.total <= 10  # possibly zero eligible: still fine
+        counts = campaign.category_counts()
+        assert counts[Category.SAME_LASTHOP] + counts[
+            Category.NON_HIERARCHICAL
+        ] + counts[Category.HIERARCHICAL] <= campaign.total
+
+
+class TestRateLimitStorm:
+    """Satellite check: every probe path registers storm-scaled limiters
+    identically, so a context reset restores them and paths agree."""
+
+    def _storm_config(self):
+        return dataclasses.replace(
+            _events_config(EventConfig(storm_duty=1.0, storm_factor=0.02)),
+            lasthop_rate_limit=(4.0, 2.0),
+        )
+
+    def test_batched_replies_bitwise_equal_serial_under_storm(self):
+        serial_net = SimulatedInternet.from_config(self._storm_config())
+        batch_net = SimulatedInternet.from_config(self._storm_config())
+        dsts = [
+            s24.network | 9 for s24 in serial_net.universe_slash24s[:16]
+        ] * 4  # repeats so buckets run dry mid-run
+        for ttl in (1, 2, 3):
+            serial, batch = [], None
+            serial_net.begin_measurement_context(0.0, 1000 + ttl)
+            batch_net.begin_measurement_context(0.0, 1000 + ttl)
+            for dst in dsts:
+                serial.append(serial_net.send_probe(dst, ttl, 0))
+            batch = batch_net.send_probe_batch(dsts, ttl, 0)
+            assert len(batch) == len(serial)
+            for got, expected in zip(batch, serial):
+                if expected is None:
+                    assert got is None
+                else:
+                    assert got is not None
+                    assert got.source == expected.source
+                    assert got.rtt_ms == expected.rtt_ms
+            assert serial_net.clock_seconds == batch_net.clock_seconds
+
+    def test_denied_probes_still_register_limiters(self):
+        """A storm-denied reply must leave its limiter in the touched
+        set — otherwise the next context would inherit a drained
+        bucket and break /24 order-independence. The TTL sweep
+        guarantees we cross the rate-limited last-hop router wherever
+        it sits on this path."""
+        internet = SimulatedInternet.from_config(self._storm_config())
+        internet.begin_measurement_context(0.0, 7)
+        dst = internet.universe_slash24s[0].network | 9
+        train = [(ttl, i) for ttl in range(1, 9) for i in range(4)]
+        replies = [internet.send_probe(dst, ttl=ttl) for ttl, _ in train]
+        assert internet.events.counters["storm"] > 0
+        assert any(reply is None for reply in replies)  # storm denied some
+        assert internet._touched_limiters
+        # Context reset restores the bucket: the same probe train
+        # replays identically.
+        internet.begin_measurement_context(0.0, 7)
+        again = [internet.send_probe(dst, ttl=ttl) for ttl, _ in train]
+        for first, second in zip(replies, again):
+            assert (first is None) == (second is None)
+            if first is not None:
+                assert first.rtt_ms == second.rtt_ms
+
+    def test_storm_counter_fires(self):
+        internet = SimulatedInternet.from_config(self._storm_config())
+        dst = internet.universe_slash24s[0].network | 9
+        for ttl in range(1, 9):
+            internet.send_probe(dst, ttl=ttl)
+        assert internet.events.counters["storm"] > 0
